@@ -1,0 +1,46 @@
+//! Coarsening-scheme ablation — the paper's §6 lists "different schemes
+//! for coarsening" as ongoing research. This bench compares the paper's
+//! fanout scheme with heavy-edge matching \[12\] and random matching \[8\]:
+//! pipeline wall time, and a one-shot printout of the final cut and the
+//! simulated concurrency each scheme's partition achieves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pls_netlist::IscasSynth;
+use pls_partition::{
+    metrics, CircuitGraph, CoarsenScheme, MultilevelConfig, MultilevelPartitioner, Partitioner,
+};
+
+fn ml(scheme: CoarsenScheme) -> MultilevelPartitioner {
+    MultilevelPartitioner { config: MultilevelConfig { scheme, ..Default::default() } }
+}
+
+fn bench_coarsening(c: &mut Criterion) {
+    let netlist = IscasSynth::s9234().build();
+    let g = CircuitGraph::from_netlist(&netlist);
+
+    for scheme in [CoarsenScheme::Fanout, CoarsenScheme::HeavyEdge, CoarsenScheme::Random] {
+        let p = ml(scheme).partition(&g, 8, 0);
+        let q = metrics::quality(&g, &p);
+        eprintln!(
+            "coarsening {:?} on s9234 k=8: cut={} imbalance={:.3} concurrency={:.2}",
+            scheme,
+            q.edge_cut,
+            q.imbalance,
+            q.concurrency.unwrap_or(0.0)
+        );
+    }
+
+    let mut group = c.benchmark_group("multilevel_coarsening_s9234_k8");
+    group.sample_size(15);
+    group.bench_function("fanout", |b| b.iter(|| ml(CoarsenScheme::Fanout).partition(&g, 8, 0)));
+    group.bench_function("heavy_edge", |b| {
+        b.iter(|| ml(CoarsenScheme::HeavyEdge).partition(&g, 8, 0))
+    });
+    group.bench_function("random_matching", |b| {
+        b.iter(|| ml(CoarsenScheme::Random).partition(&g, 8, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening);
+criterion_main!(benches);

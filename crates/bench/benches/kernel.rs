@@ -1,0 +1,55 @@
+//! Time Warp kernel micro-benchmarks: sequential event throughput, the
+//! virtual platform's protocol overhead, rollback cost, and checkpoint
+//! interval sensitivity (WARPED's periodic state saving, one of the design
+//! choices DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pls_gatesim::SimConfig;
+use pls_netlist::IscasSynth;
+use pls_partition::{CircuitGraph, MultilevelPartitioner, Partitioner};
+use pls_timewarp::{run_platform, run_sequential, Cancellation, KernelConfig, PlatformConfig};
+
+fn bench_kernel(c: &mut Criterion) {
+    let netlist = IscasSynth::small(800, 3).build();
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let cfg = SimConfig { end_time: 150, ..Default::default() };
+    let app = cfg.build_app(&netlist);
+    let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+
+    group.bench_function("sequential_800g", |b| b.iter(|| run_sequential(&app)));
+
+    group.bench_function("platform4_800g", |b| {
+        b.iter(|| {
+            run_platform(&app, &part.assignment, 4, &PlatformConfig::default()).unwrap()
+        })
+    });
+
+    group.bench_function("platform4_800g_lazy", |b| {
+        let pcfg = PlatformConfig {
+            kernel: KernelConfig { cancellation: Cancellation::Lazy, ..Default::default() },
+            ..Default::default()
+        };
+        b.iter(|| run_platform(&app, &part.assignment, 4, &pcfg).unwrap())
+    });
+
+    for interval in [1u32, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("checkpoint_interval", interval),
+            &interval,
+            |b, &iv| {
+                let pcfg = PlatformConfig {
+                    kernel: KernelConfig { checkpoint_interval: iv, ..Default::default() },
+                    ..Default::default()
+                };
+                b.iter(|| run_platform(&app, &part.assignment, 4, &pcfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

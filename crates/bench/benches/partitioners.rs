@@ -1,0 +1,47 @@
+//! Partitioner runtime benchmark — substantiates the paper's §1 claim that
+//! the multilevel heuristic is a *fast linear time* algorithm (`O(N_E)`):
+//! its runtime should scale with circuit size like the trivially-linear
+//! Random partitioner does, across the three paper benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pls_netlist::IscasSynth;
+use pls_partition::{all_partitioners, CircuitGraph, Partitioner};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let circuits: Vec<(String, CircuitGraph)> = IscasSynth::paper_suite()
+        .iter()
+        .map(|s| {
+            let n = s.build();
+            (n.name().to_string(), CircuitGraph::from_netlist(&n))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("partition_k8");
+    group.sample_size(20);
+    for (name, graph) in &circuits {
+        for strategy in all_partitioners() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), name),
+                graph,
+                |b, g| b.iter(|| strategy.partition(g, 8, 0)),
+            );
+        }
+    }
+    group.finish();
+
+    // Linearity probe: multilevel runtime over doubling synthetic sizes.
+    let mut group = c.benchmark_group("multilevel_scaling");
+    group.sample_size(15);
+    for gates in [1_000usize, 2_000, 4_000, 8_000] {
+        let n = IscasSynth::small(gates, 1).build();
+        let g = CircuitGraph::from_netlist(&n);
+        let ml = pls_partition::MultilevelPartitioner::default();
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &g, |b, g| {
+            b.iter(|| ml.partition(g, 8, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

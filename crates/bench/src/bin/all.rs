@@ -1,0 +1,18 @@
+//! Run the full experiment grid (every cell behind Table 2 and Figures
+//! 4–6) and leave the results in `target/experiments/grid.csv`. The
+//! individual binaries (`table1`, `table2`, `fig4`, `fig5`, `fig6`) then
+//! render instantly from the cache.
+
+use pls_bench::Grid;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut grid = Grid::open();
+    for c in ["s5378", "s9234", "s15850"] {
+        let seq = grid.sequential(c);
+        eprintln!("{c}: sequential = {:.2} modeled secs ({} events)", seq.exec_time_s, seq.events);
+    }
+    let rows = grid.run_all();
+    eprintln!("grid complete: {} cells in {:?}", rows.len(), t0.elapsed());
+    eprintln!("render with: cargo run --release -p pls-bench --bin table2 (fig4, fig5, fig6)");
+}

@@ -1,0 +1,24 @@
+//! Regenerate the paper's **Figure 4** — s9234 execution time vs number of
+//! nodes for all six partitioning strategies, with the sequential line.
+
+use pls_bench::{render_series, Grid, FIGURE_NODES, STRATEGY_ORDER};
+
+fn main() {
+    let mut grid = Grid::open();
+    let seq = grid.sequential("s9234");
+    let mut series = vec![(
+        "Sequential".to_string(),
+        FIGURE_NODES.iter().map(|_| seq.exec_time_s).collect::<Vec<f64>>(),
+    )];
+    for s in STRATEGY_ORDER {
+        let vals = FIGURE_NODES
+            .iter()
+            .map(|&n| grid.cell("s9234", s, n).exec_time_s)
+            .collect();
+        series.push((s.to_string(), vals));
+    }
+    print!(
+        "{}",
+        render_series("Figure 4. s9234 Execution Times", "Execution Time - secs", &FIGURE_NODES, &series)
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerate the paper's **Figure 5** — messaging statistics for the
+//! s9234 model: inter-node application messages vs number of nodes.
+
+use pls_bench::{render_series, Grid, FIGURE_NODES, STRATEGY_ORDER};
+
+fn main() {
+    let mut grid = Grid::open();
+    let mut series = Vec::new();
+    for s in STRATEGY_ORDER {
+        let vals = FIGURE_NODES
+            .iter()
+            .map(|&n| grid.cell("s9234", s, n).app_messages as f64)
+            .collect();
+        series.push((s.to_string(), vals));
+    }
+    print!(
+        "{}",
+        render_series(
+            "Figure 5. Messaging statistics for s9234 model",
+            "Number of Application Messages",
+            &FIGURE_NODES,
+            &series
+        )
+    );
+}

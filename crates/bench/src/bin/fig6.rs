@@ -1,0 +1,25 @@
+//! Regenerate the paper's **Figure 6** — rollback behaviour of the s9234
+//! model: total rollbacks vs number of nodes.
+
+use pls_bench::{render_series, Grid, FIGURE_NODES, STRATEGY_ORDER};
+
+fn main() {
+    let mut grid = Grid::open();
+    let mut series = Vec::new();
+    for s in STRATEGY_ORDER {
+        let vals = FIGURE_NODES
+            .iter()
+            .map(|&n| grid.cell("s9234", s, n).rollbacks as f64)
+            .collect();
+        series.push((s.to_string(), vals));
+    }
+    print!(
+        "{}",
+        render_series(
+            "Figure 6. Rollback behaviour of s9234",
+            "Total Number of Rollbacks",
+            &FIGURE_NODES,
+            &series
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerate the paper's **Table 1** — characteristics of the benchmark
+//! circuits (inputs / gates / outputs), plus the extra structural
+//! statistics our synthetic substitutes are matched on.
+
+use pls_bench::paper_circuits;
+use pls_netlist::CircuitStats;
+
+fn main() {
+    println!("Table 1. Characteristics of benchmarks");
+    println!("{:<10} {:>6} {:>6} {:>7}", "Circuit", "Inputs", "Gates", "Outputs");
+    let mut stats = Vec::new();
+    for netlist in paper_circuits() {
+        let s = CircuitStats::of(&netlist);
+        println!("{}", s.table1_row());
+        stats.push(s);
+    }
+    println!();
+    println!("Structural detail (synthetic ISCAS'89-class substitutes):");
+    println!(
+        "{:<10} {:>6} {:>7} {:>7} {:>10} {:>10}",
+        "Circuit", "DFFs", "Edges", "Depth", "AvgFanout", "MaxFanout"
+    );
+    for s in &stats {
+        println!(
+            "{:<10} {:>6} {:>7} {:>7} {:>10.2} {:>10}",
+            s.name, s.dffs, s.edges, s.depth, s.avg_fanout, s.max_fanout
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! The measurement core: run one circuit × partitioner × node-count cell
+//! of the paper's experiment grid and collect the metrics its tables and
+//! figures report.
+
+use pls_logic::{DelayModel, StimulusConfig};
+use pls_netlist::Netlist;
+use pls_partition::{CircuitGraph, Partitioner, Partitioning};
+use pls_timewarp::{
+    run_platform, run_sequential, platform::sequential_modeled_time_s, PlatformConfig,
+    PlatformError,
+};
+
+use crate::gatelp::{GateSim, GateState};
+
+/// Simulation workload configuration (what the testbench does).
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Virtual-time horizon: no stimulus/clock activity after this.
+    pub end_time: u64,
+    /// Primary input stimulus.
+    pub stim: StimulusConfig,
+    /// DFF clock period.
+    pub clock_period: u64,
+    /// Gate delay model.
+    pub delay: DelayModel,
+    /// Platform (cost model, kernel knobs, memory limit).
+    pub platform: PlatformConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            end_time: 400,
+            stim: StimulusConfig::default(),
+            clock_period: 10,
+            delay: DelayModel::PerKind,
+            platform: PlatformConfig::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Build the Time Warp application for a netlist under this config.
+    pub fn build_app(&self, netlist: &Netlist) -> GateSim {
+        GateSim::new(netlist, self.delay, self.stim, self.clock_period, self.end_time)
+    }
+}
+
+/// Metrics of one parallel run — one cell of Table 2 plus the Figure 5/6
+/// series values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Circuit name.
+    pub circuit: String,
+    /// Partitioning strategy name.
+    pub strategy: String,
+    /// Number of simulated workstation nodes.
+    pub nodes: usize,
+    /// Modeled execution time in seconds (Figure 4 / Table 2).
+    pub exec_time_s: f64,
+    /// Inter-node positive application messages (Figure 5).
+    pub app_messages: u64,
+    /// Total rollbacks (Figure 6).
+    pub rollbacks: u64,
+    /// Committed events.
+    pub events_committed: u64,
+    /// Processed events (committed + wasted).
+    pub events_processed: u64,
+    /// Remote anti-messages.
+    pub remote_antis: u64,
+    /// Edge cut of the partition used.
+    pub edge_cut: u64,
+    /// Whether the run died with the per-node memory limit exceeded
+    /// (`exec_time_s` is meaningless in that case).
+    pub out_of_memory: bool,
+}
+
+/// Result of a sequential baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqMetrics {
+    /// Circuit name.
+    pub circuit: String,
+    /// Modeled sequential execution time in seconds.
+    pub exec_time_s: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Per-LP trace hashes (the equivalence fingerprint).
+    pub fingerprint: Vec<u64>,
+}
+
+/// Fingerprint of a run: every LP's committed output-transition hash.
+pub fn fingerprint(states: &[GateState]) -> Vec<u64> {
+    states.iter().map(|s| s.trace_hash).collect()
+}
+
+/// Run the sequential baseline and model its execution time.
+pub fn run_seq_baseline(netlist: &Netlist, cfg: &SimConfig) -> SeqMetrics {
+    let app = cfg.build_app(netlist);
+    let res = run_sequential(&app);
+    SeqMetrics {
+        circuit: netlist.name().to_string(),
+        exec_time_s: sequential_modeled_time_s(
+            res.stats.events_processed,
+            &cfg.platform.cost,
+        ),
+        events: res.stats.events_processed,
+        fingerprint: fingerprint(&res.states),
+    }
+}
+
+/// Run one parallel cell: partition the circuit with `strategy` and
+/// simulate it on `nodes` virtual workstations.
+pub fn run_cell(
+    netlist: &Netlist,
+    graph: &CircuitGraph,
+    strategy: &dyn Partitioner,
+    nodes: usize,
+    seed: u64,
+    cfg: &SimConfig,
+) -> RunMetrics {
+    let partitioning = strategy.partition(graph, nodes, seed);
+    run_cell_with(netlist, graph, &partitioning, strategy.name(), nodes, cfg)
+}
+
+/// Like [`run_cell`] but with a pre-computed partitioning.
+pub fn run_cell_with(
+    netlist: &Netlist,
+    graph: &CircuitGraph,
+    partitioning: &Partitioning,
+    strategy_name: &str,
+    nodes: usize,
+    cfg: &SimConfig,
+) -> RunMetrics {
+    assert!(partitioning.is_valid_for(graph));
+    let app = cfg.build_app(netlist);
+    let edge_cut = pls_partition::metrics::edge_cut(graph, partitioning);
+    match run_platform(&app, &partitioning.assignment, nodes, &cfg.platform) {
+        Ok(res) => RunMetrics {
+            circuit: netlist.name().to_string(),
+            strategy: strategy_name.to_string(),
+            nodes,
+            exec_time_s: res.exec_time_s,
+            app_messages: res.stats.app_messages,
+            rollbacks: res.stats.rollbacks(),
+            events_committed: res.stats.events_committed,
+            events_processed: res.stats.events_processed,
+            remote_antis: res.stats.anti_messages_remote,
+            edge_cut,
+            out_of_memory: false,
+        },
+        Err(PlatformError::OutOfMemory { .. }) => RunMetrics {
+            circuit: netlist.name().to_string(),
+            strategy: strategy_name.to_string(),
+            nodes,
+            exec_time_s: f64::NAN,
+            app_messages: 0,
+            rollbacks: 0,
+            events_committed: 0,
+            events_processed: 0,
+            remote_antis: 0,
+            edge_cut,
+            out_of_memory: true,
+        },
+    }
+}
+
+/// Run a parallel cell *and* check its committed history against the
+/// sequential oracle, panicking on divergence. Used by tests; experiment
+/// binaries use [`run_cell`] directly (the equivalence is already
+/// established by the test suite).
+pub fn run_cell_checked(
+    netlist: &Netlist,
+    graph: &CircuitGraph,
+    strategy: &dyn Partitioner,
+    nodes: usize,
+    seed: u64,
+    cfg: &SimConfig,
+) -> RunMetrics {
+    let partitioning = strategy.partition(graph, nodes, seed);
+    let app = cfg.build_app(netlist);
+    let seq = run_sequential(&app);
+    let res = run_platform(&app, &partitioning.assignment, nodes, &cfg.platform)
+        .expect("checked runs must not OOM");
+    assert_eq!(
+        fingerprint(&res.states),
+        fingerprint(&seq.states),
+        "parallel committed history diverged from sequential ({} on {} nodes)",
+        strategy.name(),
+        nodes
+    );
+    run_cell_with(netlist, graph, &partitioning, strategy.name(), nodes, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pls_netlist::IscasSynth;
+    use pls_partition::{all_partitioners, MultilevelPartitioner, RandomPartitioner};
+
+    fn small_cfg() -> SimConfig {
+        SimConfig { end_time: 120, ..Default::default() }
+    }
+
+    #[test]
+    fn all_six_strategies_match_the_sequential_oracle() {
+        let netlist = IscasSynth::small(120, 3).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let cfg = small_cfg();
+        for strategy in all_partitioners() {
+            for nodes in [2, 4] {
+                let m = run_cell_checked(&netlist, &graph, strategy.as_ref(), nodes, 0, &cfg);
+                assert!(m.events_committed > 0, "{} produced no events", m.strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn s27_matches_oracle_on_every_node_count() {
+        let netlist = pls_netlist::data::s27();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let cfg = SimConfig { end_time: 300, ..Default::default() };
+        for nodes in 1..=4 {
+            run_cell_checked(&netlist, &graph, &RandomPartitioner, nodes, 0, &cfg);
+        }
+    }
+
+    #[test]
+    fn sequential_baseline_is_reproducible() {
+        let netlist = IscasSynth::small(100, 1).build();
+        let cfg = small_cfg();
+        let a = run_seq_baseline(&netlist, &cfg);
+        let b = run_seq_baseline(&netlist, &cfg);
+        assert_eq!(a, b);
+        assert!(a.exec_time_s > 0.0);
+    }
+
+    #[test]
+    fn multilevel_beats_random_on_messages_for_medium_circuit() {
+        let netlist = IscasSynth::small(400, 5).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let cfg = small_cfg();
+        let ml = run_cell(&netlist, &graph, &MultilevelPartitioner::default(), 4, 0, &cfg);
+        let rnd = run_cell(&netlist, &graph, &RandomPartitioner, 4, 0, &cfg);
+        assert!(
+            ml.app_messages < rnd.app_messages,
+            "multilevel {} messages vs random {}",
+            ml.app_messages,
+            rnd.app_messages
+        );
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let netlist = IscasSynth::small(150, 2).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let mut cfg = small_cfg();
+        cfg.platform.state_limit_per_node = Some(1);
+        cfg.platform.kernel.gvt_period = 2;
+        let m = run_cell(&netlist, &graph, &RandomPartitioner, 4, 0, &cfg);
+        assert!(m.out_of_memory);
+        assert!(m.exec_time_s.is_nan());
+    }
+}

@@ -1,0 +1,35 @@
+//! Gate-level logic simulation on the Time Warp kernel — the glue that
+//! plays TYVIS's role in the paper's SAVANT/TYVIS/WARPED stack: it maps a
+//! circuit netlist onto logical processes, drives stimulus, and measures
+//! the quantities the paper's evaluation reports (execution time,
+//! application messages, rollbacks).
+//!
+//! # Example
+//!
+//! ```
+//! use pls_gatesim::{SimConfig, run_seq_baseline, run_cell};
+//! use pls_netlist::IscasSynth;
+//! use pls_partition::{CircuitGraph, MultilevelPartitioner};
+//!
+//! let netlist = IscasSynth::small(150, 1).build();
+//! let graph = CircuitGraph::from_netlist(&netlist);
+//! let cfg = SimConfig { end_time: 100, ..Default::default() };
+//! let seq = run_seq_baseline(&netlist, &cfg);
+//! let par = run_cell(&netlist, &graph, &MultilevelPartitioner::default(), 4, 0, &cfg);
+//! assert!(par.events_committed > 0 && seq.events > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod experiment;
+pub mod gatelp;
+pub mod vcd;
+
+pub use experiment::{
+    fingerprint, run_cell, run_cell_checked, run_cell_with, run_seq_baseline, RunMetrics,
+    SeqMetrics, SimConfig,
+};
+pub use activity::{activity_weighted_graph, ActivityProfile};
+pub use gatelp::{GateMsg, GateSim, GateState};
+pub use vcd::{write_vcd, WaveRecorder, Waveform};

@@ -1,0 +1,78 @@
+//! Gate delay models.
+//!
+//! Gate-level timing here is a transport-delay model: an input change at
+//! time `t` produces an output change (if the output differs) at
+//! `t + delay(kind, fanin)`. The default model gives inverters/buffers a
+//! unit delay and scales slightly with fanin, which spreads event
+//! timestamps enough to exercise the optimistic simulator's rollback
+//! machinery the way heterogeneous VHDL process delays did in the paper's
+//! framework.
+
+use pls_netlist::GateKind;
+
+/// A gate delay model: simulated-time units from input change to output
+/// change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum DelayModel {
+    /// Every gate has the same delay.
+    Unit(u64),
+    /// Delay depends on kind and fanin count: `NOT`/`BUF` = 1, 2-input
+    /// gates = 2, wider gates = 2 + (fanin - 2), `DFF` clock-to-Q = 1.
+    #[default]
+    PerKind,
+}
+
+
+impl DelayModel {
+    /// Delay of a gate of `kind` with `fanin` inputs. Never zero: a
+    /// zero-delay gate would allow same-timestamp event cycles, which the
+    /// discrete event kernels reject.
+    pub fn delay(self, kind: GateKind, fanin: usize) -> u64 {
+        match self {
+            DelayModel::Unit(d) => d.max(1),
+            DelayModel::PerKind => match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                GateKind::Dff => 1,
+                GateKind::Input => 1,
+                _ => 2 + (fanin.saturating_sub(2) as u64),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_delay_is_uniform() {
+        let m = DelayModel::Unit(3);
+        assert_eq!(m.delay(GateKind::Not, 1), 3);
+        assert_eq!(m.delay(GateKind::And, 4), 3);
+    }
+
+    #[test]
+    fn unit_zero_is_clamped_to_one() {
+        assert_eq!(DelayModel::Unit(0).delay(GateKind::And, 2), 1);
+    }
+
+    #[test]
+    fn per_kind_scales_with_fanin() {
+        let m = DelayModel::PerKind;
+        assert_eq!(m.delay(GateKind::Not, 1), 1);
+        assert_eq!(m.delay(GateKind::And, 2), 2);
+        assert_eq!(m.delay(GateKind::And, 5), 5);
+        assert_eq!(m.delay(GateKind::Dff, 1), 1);
+    }
+
+    #[test]
+    fn delay_is_never_zero() {
+        for kind in GateKind::ALL {
+            for fanin in 1..6 {
+                assert!(DelayModel::PerKind.delay(kind, fanin) >= 1);
+                assert!(DelayModel::Unit(1).delay(kind, fanin) >= 1);
+            }
+        }
+    }
+}

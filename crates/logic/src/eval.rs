@@ -1,0 +1,111 @@
+//! Combinational gate evaluation over four-valued logic.
+
+use pls_netlist::GateKind;
+
+use crate::value::Value;
+
+/// Evaluate a combinational gate of the given kind over its input values.
+///
+/// # Panics
+///
+/// Panics on [`GateKind::Input`] and [`GateKind::Dff`] — primary inputs
+/// are driven by stimulus and flip-flops are stateful elements evaluated
+/// by the simulator, not by this pure function — and on empty inputs.
+pub fn eval_gate(kind: GateKind, inputs: &[Value]) -> Value {
+    assert!(!inputs.is_empty(), "eval_gate needs at least one input");
+    match kind {
+        GateKind::And => inputs.iter().copied().reduce(Value::and).unwrap(),
+        GateKind::Nand => inputs.iter().copied().reduce(Value::and).unwrap().not(),
+        GateKind::Or => inputs.iter().copied().reduce(Value::or).unwrap(),
+        GateKind::Nor => inputs.iter().copied().reduce(Value::or).unwrap().not(),
+        GateKind::Xor => inputs.iter().copied().reduce(Value::xor).unwrap(),
+        GateKind::Xnor => inputs.iter().copied().reduce(Value::xor).unwrap().not(),
+        GateKind::Not => inputs[0].not(),
+        GateKind::Buf => inputs[0].input_view(),
+        GateKind::Input | GateKind::Dff => {
+            panic!("{kind:?} is not combinationally evaluable")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Value::*;
+
+    #[test]
+    fn two_input_gates() {
+        assert_eq!(eval_gate(GateKind::And, &[V1, V1]), V1);
+        assert_eq!(eval_gate(GateKind::Nand, &[V1, V1]), V0);
+        assert_eq!(eval_gate(GateKind::Or, &[V0, V0]), V0);
+        assert_eq!(eval_gate(GateKind::Nor, &[V0, V0]), V1);
+        assert_eq!(eval_gate(GateKind::Xor, &[V1, V0]), V1);
+        assert_eq!(eval_gate(GateKind::Xnor, &[V1, V0]), V0);
+    }
+
+    #[test]
+    fn wide_gates_reduce_left_to_right() {
+        assert_eq!(eval_gate(GateKind::And, &[V1, V1, V1, V0]), V0);
+        assert_eq!(eval_gate(GateKind::Or, &[V0, V0, V1]), V1);
+        // XOR over N inputs is odd parity.
+        assert_eq!(eval_gate(GateKind::Xor, &[V1, V1, V1]), V1);
+        assert_eq!(eval_gate(GateKind::Xor, &[V1, V1, V1, V1]), V0);
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert_eq!(eval_gate(GateKind::Not, &[V0]), V1);
+        assert_eq!(eval_gate(GateKind::Buf, &[V1]), V1);
+        assert_eq!(eval_gate(GateKind::Buf, &[Z]), X, "buffer resolves Z to X");
+    }
+
+    #[test]
+    fn controlling_values_beat_x() {
+        assert_eq!(eval_gate(GateKind::And, &[V0, X]), V0);
+        assert_eq!(eval_gate(GateKind::Nand, &[V0, X]), V1);
+        assert_eq!(eval_gate(GateKind::Or, &[V1, X]), V1);
+        assert_eq!(eval_gate(GateKind::Nor, &[V1, X]), V0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn input_kind_panics() {
+        eval_gate(GateKind::Input, &[V0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dff_kind_panics() {
+        eval_gate(GateKind::Dff, &[V0]);
+    }
+
+    /// Pessimism check: replacing any single known input by X never turns a
+    /// known output into a *different* known output (monotonicity of the
+    /// Kleene extension). This is the property that makes X-propagation
+    /// safe for logic verification.
+    #[test]
+    fn x_monotonicity() {
+        let kinds = [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ];
+        for kind in kinds {
+            for a in [V0, V1] {
+                for b in [V0, V1] {
+                    let known = eval_gate(kind, &[a, b]);
+                    for (xa, xb) in [(X, b), (a, X)] {
+                        let fuzzy = eval_gate(kind, &[xa, xb]);
+                        assert!(
+                            fuzzy == known || fuzzy == X,
+                            "{kind:?}({a},{b})={known} but with X gave {fuzzy}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

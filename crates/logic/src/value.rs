@@ -1,0 +1,184 @@
+//! Four-valued signal logic.
+//!
+//! The paper's framework simulates VHDL, whose `std_logic` is nine-valued;
+//! for gate-level simulation the four values `0, 1, X, Z` carry all the
+//! behaviour that matters (strong drive, unknown, high impedance). Gate
+//! inputs treat `Z` as `X` (reading an undriven wire yields unknown), which
+//! is the standard reduction for unidirectional gate-level models.
+
+/// A four-valued signal level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Value {
+    /// Logic low.
+    V0,
+    /// Logic high.
+    V1,
+    /// Unknown (uninitialized or conflicting).
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Value {
+    /// All values, for exhaustive truth-table tests.
+    pub const ALL: [Value; 4] = [Value::V0, Value::V1, Value::X, Value::Z];
+
+    /// Convert a bool.
+    pub fn from_bool(b: bool) -> Value {
+        if b {
+            Value::V1
+        } else {
+            Value::V0
+        }
+    }
+
+    /// As seen by a gate input: `Z` reads as `X`.
+    pub fn input_view(self) -> Value {
+        if self == Value::Z {
+            Value::X
+        } else {
+            self
+        }
+    }
+
+    /// Whether this is a definite (0/1) level.
+    pub fn is_known(self) -> bool {
+        matches!(self, Value::V0 | Value::V1)
+    }
+
+    /// Kleene AND.
+    pub fn and(self, other: Value) -> Value {
+        use Value::*;
+        match (self.input_view(), other.input_view()) {
+            (V0, _) | (_, V0) => V0,
+            (V1, V1) => V1,
+            _ => X,
+        }
+    }
+
+    /// Kleene OR.
+    pub fn or(self, other: Value) -> Value {
+        use Value::*;
+        match (self.input_view(), other.input_view()) {
+            (V1, _) | (_, V1) => V1,
+            (V0, V0) => V0,
+            _ => X,
+        }
+    }
+
+    /// Kleene XOR (unknown if either operand is unknown).
+    pub fn xor(self, other: Value) -> Value {
+        use Value::*;
+        match (self.input_view(), other.input_view()) {
+            (V0, V0) | (V1, V1) => V0,
+            (V0, V1) | (V1, V0) => V1,
+            _ => X,
+        }
+    }
+
+    /// Kleene NOT.
+    #[allow(clippy::should_implement_trait)] // `v.not()` reads naturally next to and/or/xor
+    pub fn not(self) -> Value {
+        use Value::*;
+        match self.input_view() {
+            V0 => V1,
+            V1 => V0,
+            _ => X,
+        }
+    }
+
+    /// Single-character display used in waveforms and traces.
+    pub fn as_char(self) -> char {
+        match self {
+            Value::V0 => '0',
+            Value::V1 => '1',
+            Value::X => 'X',
+            Value::Z => 'Z',
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Value::*;
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(V0.and(V0), V0);
+        assert_eq!(V0.and(V1), V0);
+        assert_eq!(V1.and(V1), V1);
+        assert_eq!(V1.and(X), X);
+        assert_eq!(V0.and(X), V0); // controlling value dominates unknown
+        assert_eq!(X.and(X), X);
+        assert_eq!(V0.and(Z), V0);
+        assert_eq!(V1.and(Z), X); // Z reads as X
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(V0.or(V0), V0);
+        assert_eq!(V1.or(V0), V1);
+        assert_eq!(V1.or(X), V1); // controlling value dominates unknown
+        assert_eq!(V0.or(X), X);
+        assert_eq!(X.or(Z), X);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(V0.xor(V0), V0);
+        assert_eq!(V1.xor(V0), V1);
+        assert_eq!(V1.xor(V1), V0);
+        assert_eq!(V1.xor(X), X);
+        assert_eq!(X.xor(X), X); // even X^X is unknown
+    }
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(V0.not(), V1);
+        assert_eq!(V1.not(), V0);
+        assert_eq!(X.not(), X);
+        assert_eq!(Z.not(), X);
+    }
+
+    #[test]
+    fn operators_commute() {
+        for a in Value::ALL {
+            for b in Value::ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in Value::ALL {
+            for b in Value::ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn display_chars() {
+        assert_eq!(V0.to_string(), "0");
+        assert_eq!(V1.to_string(), "1");
+        assert_eq!(X.to_string(), "X");
+        assert_eq!(Z.to_string(), "Z");
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(Value::default(), X);
+    }
+}

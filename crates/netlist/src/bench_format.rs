@@ -1,0 +1,270 @@
+//! Reader and writer for the ISCAS'89 `.bench` netlist format.
+//!
+//! The format the CAD Benchmarking Lab distributes (the paper's reference
+//! \[4\]) looks like:
+//!
+//! ```text
+//! # s27 example
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G11 = DFF(G10)
+//! ```
+//!
+//! Parsing is two-pass so signals may be used before they are defined,
+//! which real benchmark files do freely.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind};
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// One parsed statement, before reference resolution.
+enum Stmt {
+    Input(String),
+    Output(String),
+    Gate { out: String, kind: GateKind, ins: Vec<String> },
+}
+
+/// Parse `.bench` text into a [`Netlist`] with the given circuit name.
+pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = strip_call(line, "INPUT") {
+            stmts.push((lineno, Stmt::Input(rest.to_string())));
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            stmts.push((lineno, Stmt::Output(rest.to_string())));
+        } else if let Some(eq) = line.find('=') {
+            let out = line[..eq].trim().to_string();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                msg: format!("expected `KIND(...)`, got `{rhs}`"),
+            })?;
+            let close = rhs.rfind(')').ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                msg: "missing closing parenthesis".into(),
+            })?;
+            if out.is_empty() {
+                return Err(NetlistError::Parse { line: lineno, msg: "empty signal name".into() });
+            }
+            let kind_str = rhs[..open].trim();
+            let kind = GateKind::from_bench_name(kind_str).ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                msg: format!("unknown gate kind `{kind_str}`"),
+            })?;
+            let ins: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if ins.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    msg: format!("gate `{out}` has no inputs"),
+                });
+            }
+            stmts.push((lineno, Stmt::Gate { out, kind, ins }));
+        } else {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                msg: format!("unrecognized statement `{line}`"),
+            });
+        }
+    }
+
+    // Pass 1: allocate ids for every defined signal, inputs first so that
+    // `Netlist::inputs()` preserves declaration order.
+    let mut builder = NetlistBuilder::new(name);
+    let mut pending_gates: Vec<(usize, String, GateKind, Vec<String>)> = Vec::new();
+    let mut pending_outputs: Vec<(usize, String)> = Vec::new();
+    // Reserve: map name -> index into a temp list; we must add inputs and
+    // gates to the builder in one go because ids are sequential. Collect
+    // definitions first.
+    for (lineno, stmt) in stmts {
+        match stmt {
+            Stmt::Input(n) => {
+                builder.add_input(n).map_err(|e| at(lineno, e))?;
+            }
+            Stmt::Output(n) => pending_outputs.push((lineno, n)),
+            Stmt::Gate { out, kind, ins } => pending_gates.push((lineno, out, kind, ins)),
+        }
+    }
+    // Allocate gate ids (fanin resolved in pass 2 — forward refs allowed).
+    let mut gate_ids: Vec<GateId> = Vec::with_capacity(pending_gates.len());
+    for (lineno, out, kind, _) in &pending_gates {
+        let id = builder.add_gate(out.clone(), *kind, Vec::new()).map_err(|e| at(*lineno, e))?;
+        gate_ids.push(id);
+    }
+
+    // Pass 2: resolve fanin names.
+    let name_to_id: HashMap<String, GateId> = pending_gates
+        .iter()
+        .zip(&gate_ids)
+        .map(|((_, out, _, _), &id)| (out.clone(), id))
+        .collect();
+    let resolve = |builder: &NetlistBuilder, n: &str| -> Option<GateId> {
+        builder.find(n).or_else(|| name_to_id.get(n).copied())
+    };
+
+    let mut resolved: Vec<(GateId, Vec<GateId>)> = Vec::with_capacity(pending_gates.len());
+    for ((lineno, out, _, ins), &id) in pending_gates.iter().zip(&gate_ids) {
+        let mut fanin = Vec::with_capacity(ins.len());
+        for i in ins {
+            let f = resolve(&builder, i).ok_or_else(|| NetlistError::Parse {
+                line: *lineno,
+                msg: format!("gate `{out}` references undefined signal `{i}`"),
+            })?;
+            fanin.push(f);
+        }
+        resolved.push((id, fanin));
+    }
+    builder.set_fanins(resolved);
+
+    for (lineno, n) in pending_outputs {
+        let id = builder.find(&n).ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            msg: format!("OUTPUT names undefined signal `{n}`"),
+        })?;
+        builder.mark_output(id);
+    }
+
+    builder.build()
+}
+
+/// Serialize a netlist back to `.bench` text. `parse(write(n))` reproduces
+/// the same circuit (names, kinds, pin order, outputs).
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} gates, {} outputs, {} flip-flops\n",
+        netlist.inputs().len(),
+        netlist.num_logic_gates(),
+        netlist.outputs().len(),
+        netlist.dffs().len()
+    ));
+    for &i in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.gate(i).name));
+    }
+    for &o in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.gate(o).name));
+    }
+    for id in netlist.ids() {
+        let g = netlist.gate(id);
+        if g.kind == GateKind::Input {
+            continue;
+        }
+        let ins: Vec<&str> =
+            g.fanin.iter().map(|&f| netlist.gate(f).name.as_str()).collect();
+        out.push_str(&format!("{} = {}({})\n", g.name, g.kind.bench_name(), ins.join(", ")));
+    }
+    out
+}
+
+fn strip_call<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(kw)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+fn at(_line: usize, e: NetlistError) -> NetlistError {
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# tiny sample
+INPUT(A)
+INPUT(B)
+OUTPUT(Y)
+N = NAND(A, B)
+Y = NOT(N)
+";
+
+    #[test]
+    fn parses_sample() {
+        let n = parse("tiny", SAMPLE).unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.num_logic_gates(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.gate(n.outputs()[0]).name, "Y");
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let text = "INPUT(A)\nOUTPUT(Y)\nY = NOT(N)\nN = BUFF(A)\n";
+        let n = parse("fwd", text).unwrap();
+        let y = n.find("Y").unwrap();
+        let nn = n.find("N").unwrap();
+        assert_eq!(n.fanin(y), &[nn]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let n1 = parse("tiny", SAMPLE).unwrap();
+        let text = write(&n1);
+        let n2 = parse("tiny", &text).unwrap();
+        assert_eq!(n1.len(), n2.len());
+        for id in n1.ids() {
+            let g1 = n1.gate(id);
+            let g2id = n2.find(&g1.name).unwrap();
+            let g2 = n2.gate(g2id);
+            assert_eq!(g1.kind, g2.kind);
+            let f1: Vec<&str> = g1.fanin.iter().map(|&f| n1.gate(f).name.as_str()).collect();
+            let f2: Vec<&str> = g2.fanin.iter().map(|&f| n2.gate(f).name.as_str()).collect();
+            assert_eq!(f1, f2);
+        }
+        assert_eq!(n1.outputs().len(), n2.outputs().len());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hello\n\nINPUT(A)\nOUTPUT(B)\nB = BUFF(A)\n# trailing\n";
+        assert!(parse("c", text).is_ok());
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let text = "INPUT(A)\nOUTPUT(B)\nB = FROB(A)\n";
+        match parse("e", text) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_fanin_is_error() {
+        let text = "INPUT(A)\nOUTPUT(B)\nB = NOT(ZZZ)\n";
+        assert!(parse("u", text).is_err());
+    }
+
+    #[test]
+    fn undefined_output_is_error() {
+        let text = "INPUT(A)\nOUTPUT(NOPE)\nB = NOT(A)\n";
+        assert!(parse("u", text).is_err());
+    }
+
+    #[test]
+    fn garbage_line_is_error() {
+        assert!(parse("g", "INPUT(A)\nwhat is this\n").is_err());
+    }
+
+    #[test]
+    fn dff_parses() {
+        let text = "INPUT(D)\nOUTPUT(Q)\nQ = DFF(D)\n";
+        let n = parse("ff", text).unwrap();
+        assert_eq!(n.dffs().len(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Fan-out and fan-in cone extraction.
+//!
+//! A *fan-out cone* of a gate is everything transitively driven by it; a
+//! *fan-in cone* is everything that transitively drives it. The paper's
+//! Cone partitioner (after Smith \[19\]) clusters the circuit by fan-out
+//! cones grown from the primary inputs. Cones stop at DFF boundaries when
+//! `stop_at_dff` is set, which keeps a cone within one clock domain
+//! traversal — the variant used for partitioning keeps DFFs inside cones
+//! (the whole circuit must be covered).
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Compute the fan-out cone of `root` (including `root` itself), as a
+/// sorted, deduplicated id list.
+pub fn fanout_cone(netlist: &Netlist, root: GateId, stop_at_dff: bool) -> Vec<GateId> {
+    collect(netlist, root, stop_at_dff, |n, v| n.fanout(v))
+}
+
+/// Compute the fan-in cone of `root` (including `root` itself), as a
+/// sorted, deduplicated id list.
+pub fn fanin_cone(netlist: &Netlist, root: GateId, stop_at_dff: bool) -> Vec<GateId> {
+    collect(netlist, root, stop_at_dff, |n, v| n.fanin(v))
+}
+
+fn collect<'a, F>(netlist: &'a Netlist, root: GateId, stop_at_dff: bool, next: F) -> Vec<GateId>
+where
+    F: Fn(&'a Netlist, GateId) -> &'a [GateId],
+{
+    let mut seen = vec![false; netlist.len()];
+    let mut stack = vec![root];
+    let mut out = Vec::new();
+    seen[root as usize] = true;
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        if stop_at_dff && v != root && netlist.is_dff(v) {
+            continue; // include the DFF but do not cross it
+        }
+        for &w in next(netlist, v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+
+    fn sample() -> Netlist {
+        // A -> B -> D(DFF) -> E ; A -> C -> E
+        parse(
+            "cones",
+            "INPUT(A)\nOUTPUT(E)\nB = NOT(A)\nC = BUFF(A)\nD = DFF(B)\nE = AND(D, C)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fanout_cone_reaches_everything_downstream() {
+        let n = sample();
+        let a = n.find("A").unwrap();
+        let cone = fanout_cone(&n, a, false);
+        assert_eq!(cone.len(), n.len(), "A drives the whole circuit");
+    }
+
+    #[test]
+    fn fanout_cone_stops_at_dff() {
+        let n = sample();
+        let b = n.find("B").unwrap();
+        let cone = fanout_cone(&n, b, true);
+        // B -> D (DFF, included) but not E beyond it.
+        assert!(cone.contains(&n.find("D").unwrap()));
+        assert!(!cone.contains(&n.find("E").unwrap()));
+    }
+
+    #[test]
+    fn fanin_cone_reaches_everything_upstream() {
+        let n = sample();
+        let e = n.find("E").unwrap();
+        let cone = fanin_cone(&n, e, false);
+        assert_eq!(cone.len(), n.len(), "everything drives E");
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_dff() {
+        let n = sample();
+        let e = n.find("E").unwrap();
+        let cone = fanin_cone(&n, e, true);
+        // E <- D (DFF, included) but not B behind it; A still reachable via C.
+        assert!(cone.contains(&n.find("D").unwrap()));
+        assert!(!cone.contains(&n.find("B").unwrap()));
+        assert!(cone.contains(&n.find("A").unwrap()));
+    }
+
+    #[test]
+    fn cone_of_root_contains_root() {
+        let n = sample();
+        for id in n.ids() {
+            assert!(fanout_cone(&n, id, false).contains(&id));
+            assert!(fanin_cone(&n, id, false).contains(&id));
+        }
+    }
+
+    #[test]
+    fn cones_are_sorted_and_deduped() {
+        let n = sample();
+        let a = n.find("A").unwrap();
+        let cone = fanout_cone(&n, a, false);
+        let mut sorted = cone.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(cone, sorted);
+    }
+}

@@ -1,0 +1,94 @@
+//! Embedded miniature benchmark circuits.
+//!
+//! `s27` is the smallest circuit of the ISCAS'89 suite (4 inputs, 1 output,
+//! 3 flip-flops, 10 logic gates); its netlist has been reprinted in many
+//! papers and textbooks and serves here as a known-good fixture for parser,
+//! partitioner and simulator tests. `c17` is the smallest ISCAS'85
+//! combinational benchmark (6 NAND gates), equally canonical.
+
+use crate::bench_format;
+use crate::netlist::Netlist;
+
+/// The ISCAS'89 s27 benchmark in `.bench` form.
+pub const S27_BENCH: &str = "\
+# s27 — smallest ISCAS'89 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// The ISCAS'85 c17 benchmark in `.bench` form.
+pub const C17_BENCH: &str = "\
+# c17 — smallest ISCAS'85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Parse and return the embedded s27 netlist.
+pub fn s27() -> Netlist {
+    bench_format::parse("s27", S27_BENCH).expect("embedded s27 must parse")
+}
+
+/// Parse and return the embedded c17 netlist.
+pub fn c17() -> Netlist {
+    bench_format::parse("c17", C17_BENCH).expect("embedded c17 must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_characteristics() {
+        let n = s27();
+        assert_eq!(n.inputs().len(), 4);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.dffs().len(), 3);
+        // 10 combinational gates + 3 DFFs.
+        assert_eq!(n.num_logic_gates(), 13);
+    }
+
+    #[test]
+    fn c17_characteristics() {
+        let n = c17();
+        assert_eq!(n.inputs().len(), 5);
+        assert_eq!(n.outputs().len(), 2);
+        assert_eq!(n.dffs().len(), 0);
+        assert_eq!(n.num_logic_gates(), 6);
+    }
+
+    #[test]
+    fn s27_round_trips_through_bench_format() {
+        let n = s27();
+        let text = bench_format::write(&n);
+        let n2 = bench_format::parse("s27", &text).unwrap();
+        assert_eq!(n.len(), n2.len());
+        assert_eq!(n.dffs().len(), n2.dffs().len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Topological levelization of a circuit graph.
+//!
+//! Levelization assigns each gate the length of the longest combinational
+//! path from a *level source* (primary input or DFF output) to it. DFF
+//! outputs are sources because a flip-flop registers its value: its readers
+//! do not combinationally depend on its D input. This is the structure the
+//! paper's Topological partitioner \[5, 19\] operates on: "first levelizing
+//! the circuit graph and then assigning nodes at the same topological level
+//! to a partition".
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Result of levelizing a netlist.
+#[derive(Debug, Clone)]
+pub struct Levelization {
+    /// Level of each gate, indexed by `GateId`.
+    pub level: Vec<u32>,
+    /// Gates grouped by level: `by_level[l]` lists the gates at level `l`
+    /// in ascending id order.
+    pub by_level: Vec<Vec<GateId>>,
+}
+
+impl Levelization {
+    /// Number of levels (depth of the circuit + 1).
+    pub fn depth(&self) -> usize {
+        self.by_level.len()
+    }
+}
+
+/// Levelize a netlist.
+///
+/// Level 0 holds the primary inputs and the DFFs; a combinational gate's
+/// level is `1 + max(level of fanins)` where DFF fanins contribute level 0
+/// (their *output* side). Runs in `O(V + E)` via a Kahn-style sweep.
+pub fn levelize(netlist: &Netlist) -> Levelization {
+    let n = netlist.len();
+    let mut level = vec![0u32; n];
+    // Pending combinational fanin count; DFFs and inputs start ready.
+    let mut pending = vec![0u32; n];
+    let mut ready: Vec<GateId> = Vec::new();
+
+    for id in netlist.ids() {
+        if netlist.is_input(id) || netlist.is_dff(id) {
+            ready.push(id);
+        } else {
+            pending[id as usize] = netlist.fanin(id).len() as u32;
+            if pending[id as usize] == 0 {
+                // Defensive: a combinational gate with no fanin (cannot
+                // happen on validated netlists) sits at level 0.
+                ready.push(id);
+            }
+        }
+    }
+
+    let mut head = 0;
+    while head < ready.len() {
+        let v = ready[head];
+        head += 1;
+        // A DFF does not propagate combinationally to its readers' level
+        // computation — but its *output* is a level-0 source, so its
+        // readers still receive `level 0 + 1` via the relaxation below.
+        for &w in netlist.fanout(v) {
+            if netlist.is_dff(w) || netlist.is_input(w) {
+                continue; // DFF D-pin does not constrain the DFF's level
+            }
+            let cand = level[v as usize] + 1;
+            if cand > level[w as usize] {
+                level[w as usize] = cand;
+            }
+            pending[w as usize] -= 1;
+            if pending[w as usize] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+
+    let depth = level.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut by_level: Vec<Vec<GateId>> = vec![Vec::new(); depth];
+    for id in netlist.ids() {
+        by_level[level[id as usize] as usize].push(id);
+    }
+
+    Levelization { level, by_level }
+}
+
+/// A topological order of all gates: level sources first, then gates in
+/// non-decreasing level. Within a level, ascending id. Every gate appears
+/// exactly once.
+pub fn topo_order(netlist: &Netlist) -> Vec<GateId> {
+    let lv = levelize(netlist);
+    let mut order = Vec::with_capacity(netlist.len());
+    for bucket in &lv.by_level {
+        order.extend_from_slice(bucket);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+
+    #[test]
+    fn chain_levels() {
+        let text = "INPUT(A)\nOUTPUT(C)\nB = NOT(A)\nC = NOT(B)\n";
+        let n = parse("chain", text).unwrap();
+        let lv = levelize(&n);
+        assert_eq!(lv.level[n.find("A").unwrap() as usize], 0);
+        assert_eq!(lv.level[n.find("B").unwrap() as usize], 1);
+        assert_eq!(lv.level[n.find("C").unwrap() as usize], 2);
+        assert_eq!(lv.depth(), 3);
+    }
+
+    #[test]
+    fn longest_path_wins() {
+        // Y = AND(A, C) where C = NOT(B), B = NOT(A): Y at level 3.
+        let text = "INPUT(A)\nOUTPUT(Y)\nB = NOT(A)\nC = NOT(B)\nY = AND(A, C)\n";
+        let n = parse("lp", text).unwrap();
+        let lv = levelize(&n);
+        assert_eq!(lv.level[n.find("Y").unwrap() as usize], 3);
+    }
+
+    #[test]
+    fn dff_is_level_source() {
+        // Sequential loop: q = DFF(g); g = NOT(q). q at level 0, g at 1.
+        let text = "INPUT(A)\nOUTPUT(Q)\nG = NOR(Q, A)\nQ = DFF(G)\n";
+        let n = parse("seq", text).unwrap();
+        let lv = levelize(&n);
+        assert_eq!(lv.level[n.find("Q").unwrap() as usize], 0);
+        assert_eq!(lv.level[n.find("G").unwrap() as usize], 1);
+    }
+
+    #[test]
+    fn topo_order_respects_combinational_deps() {
+        let text = "INPUT(A)\nOUTPUT(Y)\nB = NOT(A)\nC = NOT(B)\nY = AND(A, C)\n";
+        let n = parse("topo", text).unwrap();
+        let order = topo_order(&n);
+        assert_eq!(order.len(), n.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        for id in n.ids() {
+            if n.is_dff(id) || n.is_input(id) {
+                continue;
+            }
+            for &f in n.fanin(id) {
+                if !n.is_dff(f) {
+                    assert!(pos[&f] < pos[&id], "fanin must precede gate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_gate_in_exactly_one_level_bucket() {
+        let text = "INPUT(A)\nINPUT(B)\nOUTPUT(Y)\nC = AND(A, B)\nD = DFF(C)\nY = OR(D, A)\n";
+        let n = parse("buckets", text).unwrap();
+        let lv = levelize(&n);
+        let total: usize = lv.by_level.iter().map(|b| b.len()).sum();
+        assert_eq!(total, n.len());
+    }
+}

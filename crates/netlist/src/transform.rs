@@ -1,0 +1,157 @@
+//! Netlist transformations: dead-logic sweep and fanout-free gate
+//! reporting. Real synthesized circuits carry unobservable logic; sweeping
+//! it before partitioning avoids simulating events nobody reads — the same
+//! pre-pass the paper's elaboration framework performed implicitly.
+
+use std::collections::VecDeque;
+
+use crate::gate::GateId;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// Result of a dead-logic sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// The swept netlist (only observable logic retained).
+    pub netlist: Netlist,
+    /// Gates removed, in original-id terms.
+    pub removed: Vec<GateId>,
+    /// Map from old gate id to new gate id (`None` for removed gates).
+    pub remap: Vec<Option<GateId>>,
+}
+
+/// Gates that can influence a primary output, found by reverse reachability
+/// through fanin edges (DFFs included — their D cone is observable through
+/// their Q).
+pub fn observable_gates(netlist: &Netlist) -> Vec<bool> {
+    let mut live = vec![false; netlist.len()];
+    let mut queue: VecDeque<GateId> = VecDeque::new();
+    for &o in netlist.outputs() {
+        if !live[o as usize] {
+            live[o as usize] = true;
+            queue.push_back(o);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &f in netlist.fanin(v) {
+            if !live[f as usize] {
+                live[f as usize] = true;
+                queue.push_back(f);
+            }
+        }
+    }
+    live
+}
+
+/// Remove every gate that cannot influence a primary output. Primary
+/// inputs are always kept (they define the circuit's interface), even if
+/// nothing reads them after the sweep.
+pub fn sweep_dead_logic(netlist: &Netlist) -> SweepResult {
+    let live = observable_gates(netlist);
+    let mut b = NetlistBuilder::new(netlist.name());
+    let mut remap: Vec<Option<GateId>> = vec![None; netlist.len()];
+    let mut removed = Vec::new();
+
+    // First pass: allocate kept gates in original order (stable ids).
+    for id in netlist.ids() {
+        let g = netlist.gate(id);
+        if live[id as usize] || netlist.is_input(id) {
+            let new_id = b
+                .add_gate(g.name.clone(), g.kind, Vec::new())
+                .expect("names unique in source netlist");
+            remap[id as usize] = Some(new_id);
+        } else {
+            removed.push(id);
+        }
+    }
+    // Second pass: rewire fanin. A kept gate can only reference kept
+    // gates (its whole fanin cone is observable through it).
+    let mut resolved = Vec::new();
+    for id in netlist.ids() {
+        let Some(new_id) = remap[id as usize] else { continue };
+        let fanin: Vec<GateId> = netlist
+            .fanin(id)
+            .iter()
+            .map(|&f| remap[f as usize].expect("fanin of live gate is live"))
+            .collect();
+        resolved.push((new_id, fanin));
+    }
+    b.set_fanins(resolved);
+    for &o in netlist.outputs() {
+        b.mark_output(remap[o as usize].expect("outputs are live"));
+    }
+    SweepResult { netlist: b.build().expect("sweep preserves validity"), removed, remap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::generate::IscasSynth;
+
+    #[test]
+    fn sweep_removes_unobservable_logic() {
+        // D is driven but drives nothing and is not an output.
+        let n = parse(
+            "d",
+            "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\nD = BUFF(A)\nE = NOT(D)\n",
+        )
+        .unwrap();
+        let res = sweep_dead_logic(&n);
+        assert_eq!(res.removed.len(), 2, "D and E are dead");
+        assert_eq!(res.netlist.num_logic_gates(), 1);
+        assert!(res.netlist.find("Y").is_some());
+        assert!(res.netlist.find("D").is_none());
+    }
+
+    #[test]
+    fn sweep_keeps_sequential_feedback() {
+        // The DFF loop feeds the output: everything is observable.
+        let n = parse("s", "INPUT(A)\nOUTPUT(Q)\nG = NOR(Q, A)\nQ = DFF(G)\n").unwrap();
+        let res = sweep_dead_logic(&n);
+        assert!(res.removed.is_empty());
+        assert_eq!(res.netlist.len(), n.len());
+    }
+
+    #[test]
+    fn sweep_keeps_unread_primary_inputs() {
+        let n = parse("i", "INPUT(A)\nINPUT(B)\nOUTPUT(Y)\nY = NOT(A)\n").unwrap();
+        let res = sweep_dead_logic(&n);
+        assert!(res.netlist.find("B").is_some(), "interface must survive");
+        assert!(res.removed.is_empty());
+    }
+
+    #[test]
+    fn sweep_is_idempotent() {
+        let n = IscasSynth::small(300, 11).build();
+        let once = sweep_dead_logic(&n);
+        let twice = sweep_dead_logic(&once.netlist);
+        assert!(twice.removed.is_empty());
+        assert_eq!(once.netlist.len(), twice.netlist.len());
+    }
+
+    #[test]
+    fn remap_is_consistent() {
+        let n = IscasSynth::small(200, 4).build();
+        let res = sweep_dead_logic(&n);
+        for id in n.ids() {
+            match res.remap[id as usize] {
+                Some(new_id) => {
+                    assert_eq!(n.gate(id).name, res.netlist.gate(new_id).name);
+                }
+                None => assert!(res.removed.contains(&id)),
+            }
+        }
+    }
+
+    #[test]
+    fn observable_set_contains_all_output_cones() {
+        let n = IscasSynth::small(200, 4).build();
+        let live = observable_gates(&n);
+        for &o in n.outputs() {
+            assert!(live[o as usize]);
+            for &f in n.fanin(o) {
+                assert!(live[f as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Depth-first and breadth-first traversal orders over the circuit graph.
+//!
+//! These orders are exactly what the paper's DFS partitioner \[11\] and
+//! Cluster (breadth-first) partitioner consume: nodes are assigned to
+//! partitions "in the order traversed". Traversals start from the primary
+//! inputs (in declaration order) and fall back to any still-unvisited gate
+//! so that disconnected gates are covered too.
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Depth-first order over the fanout relation, rooted at the primary
+/// inputs. Deterministic: roots in input order, fanout explored in stored
+/// order, unreached gates appended in id order via fresh DFS roots.
+pub fn dfs_order(netlist: &Netlist) -> Vec<GateId> {
+    let n = netlist.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<GateId> = Vec::new();
+
+    let mut roots: Vec<GateId> = netlist.inputs().to_vec();
+    roots.extend(netlist.ids().filter(|&g| !netlist.is_input(g)));
+
+    for root in roots {
+        if visited[root as usize] {
+            continue;
+        }
+        stack.push(root);
+        visited[root as usize] = true;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // Push fanout in reverse so the first-listed reader is explored
+            // first, matching a recursive DFS.
+            for &w in netlist.fanout(v).iter().rev() {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Breadth-first order over the fanout relation, rooted at the primary
+/// inputs (all inputs seed the initial frontier, so the wave expands
+/// uniformly — this produces the "cluster" growth of the paper's Cluster
+/// partitioner). Unreached gates are appended as fresh BFS roots.
+pub fn bfs_order(netlist: &Netlist) -> Vec<GateId> {
+    let n = netlist.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+
+    for &i in netlist.inputs() {
+        if !visited[i as usize] {
+            visited[i as usize] = true;
+            queue.push_back(i);
+        }
+    }
+    loop {
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in netlist.fanout(v) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        // Cover disconnected components / pure-feedback gates.
+        match netlist.ids().find(|&g| !visited[g as usize]) {
+            Some(g) => {
+                visited[g as usize] = true;
+                queue.push_back(g);
+            }
+            None => break,
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+
+    fn diamond() -> Netlist {
+        // A feeds B and C; D = AND(B, C).
+        parse(
+            "diamond",
+            "INPUT(A)\nOUTPUT(D)\nB = NOT(A)\nC = BUFF(A)\nD = AND(B, C)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dfs_is_a_permutation() {
+        let n = diamond();
+        let mut o = dfs_order(&n);
+        assert_eq!(o.len(), n.len());
+        o.sort_unstable();
+        o.dedup();
+        assert_eq!(o.len(), n.len());
+    }
+
+    #[test]
+    fn bfs_is_a_permutation() {
+        let n = diamond();
+        let mut o = bfs_order(&n);
+        assert_eq!(o.len(), n.len());
+        o.sort_unstable();
+        o.dedup();
+        assert_eq!(o.len(), n.len());
+    }
+
+    #[test]
+    fn dfs_goes_deep_first() {
+        // Chain A->B->C plus separate input X->Y. DFS from A finishes the
+        // whole chain before moving to X's component? Roots are in input
+        // order, so A's component is fully emitted before X.
+        let n = parse(
+            "two",
+            "INPUT(A)\nINPUT(X)\nOUTPUT(C)\nOUTPUT(Y)\nB = NOT(A)\nC = NOT(B)\nY = NOT(X)\n",
+        )
+        .unwrap();
+        let o = dfs_order(&n);
+        let pos: std::collections::HashMap<_, _> =
+            o.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let a = n.find("A").unwrap();
+        let c = n.find("C").unwrap();
+        let x = n.find("X").unwrap();
+        assert!(pos[&a] < pos[&c]);
+        assert!(pos[&c] < pos[&x], "DFS must exhaust A's cone before X");
+    }
+
+    #[test]
+    fn bfs_goes_wide_first() {
+        // With inputs A and X seeding the frontier together, X precedes C
+        // (which is two hops from A).
+        let n = parse(
+            "two",
+            "INPUT(A)\nINPUT(X)\nOUTPUT(C)\nOUTPUT(Y)\nB = NOT(A)\nC = NOT(B)\nY = NOT(X)\n",
+        )
+        .unwrap();
+        let o = bfs_order(&n);
+        let pos: std::collections::HashMap<_, _> =
+            o.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let c = n.find("C").unwrap();
+        let x = n.find("X").unwrap();
+        assert!(pos[&x] < pos[&c], "BFS must visit X before depth-2 C");
+    }
+
+    #[test]
+    fn traversals_cover_feedback_only_gates() {
+        // q = DFF(g); g = NOR(q, q) — unreachable from any primary input.
+        let n =
+            parse("fb", "INPUT(A)\nOUTPUT(Q)\nB = NOT(A)\nG = NOR(Q, Q)\nQ = DFF(G)\n").unwrap();
+        assert_eq!(dfs_order(&n).len(), n.len());
+        assert_eq!(bfs_order(&n).len(), n.len());
+    }
+}

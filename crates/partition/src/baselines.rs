@@ -1,0 +1,317 @@
+//! The five baseline partitioning strategies of the study (paper Section 2
+//! and Section 5): Random, Topological, DFS, Cluster (breadth-first) and
+//! Fanout-cone.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::graph::{CircuitGraph, VertexId};
+use crate::partitioning::Partitioning;
+use crate::util;
+use crate::Partitioner;
+
+/// Random partitioning \[15\]: vertices assigned "in a random and load
+/// balanced manner". Shuffles the vertex ids and deals each to the
+/// currently lightest partition. Excellent balance and concurrency; its
+/// "major bottleneck … is communication".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPartitioner;
+
+impl Partitioner for RandomPartitioner {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn partition(&self, g: &CircuitGraph, k: usize, seed: u64) -> Partitioning {
+        let mut assignment = vec![0u32; g.len()];
+        let mut loads = vec![0u64; k];
+        for v in util::shuffled_vertices(g, seed) {
+            let p = util::lightest(&loads);
+            assignment[v as usize] = p;
+            loads[p as usize] += g.vweight(v);
+        }
+        Partitioning::new(k, assignment)
+    }
+}
+
+/// Topological (level) partitioning \[5, 19\]: levelize the circuit, then
+/// spread the gates of each level across the k partitions round-robin.
+/// Maximizes wavefront concurrency at the price of cutting most signals
+/// (each gate's readers sit one level down, usually on another processor) —
+/// the communication overhead the paper observes in Figures 4–5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopologicalPartitioner;
+
+impl Partitioner for TopologicalPartitioner {
+    fn name(&self) -> &'static str {
+        "Topological"
+    }
+
+    fn partition(&self, g: &CircuitGraph, k: usize, seed: u64) -> Partitioning {
+        assert!(g.has_levels(), "topological partitioner needs a level-annotated graph");
+        let _ = seed; // deterministic given the graph
+        let depth =
+            g.vertices().filter_map(|v| g.level(v)).max().unwrap_or(0) as usize + 1;
+        let mut by_level: Vec<Vec<VertexId>> = vec![Vec::new(); depth];
+        for v in g.vertices() {
+            by_level[g.level(v).unwrap() as usize].push(v);
+        }
+        // Round-robin inside each level, continuing the cursor across
+        // levels so loads stay balanced even when level sizes are not
+        // multiples of k.
+        let mut assignment = vec![0u32; g.len()];
+        let mut cursor = 0usize;
+        for bucket in &by_level {
+            for &v in bucket {
+                assignment[v as usize] = (cursor % k) as u32;
+                cursor += 1;
+            }
+        }
+        Partitioning::new(k, assignment)
+    }
+}
+
+/// Depth-first partitioning \[11\]: traverse the circuit depth-first from
+/// the primary inputs and cut the traversal order into k contiguous
+/// weight-balanced blocks. Keeps fanout chains together (low cut) but
+/// successive logic levels land in the same partition, costing concurrency
+/// as k grows — the deterioration the paper reports at 16 processors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DfsPartitioner;
+
+impl Partitioner for DfsPartitioner {
+    fn name(&self) -> &'static str {
+        "DFS"
+    }
+
+    fn partition(&self, g: &CircuitGraph, k: usize, _seed: u64) -> Partitioning {
+        let order = util::dfs_order(g);
+        util::contiguous_blocks(g, &order, k)
+    }
+}
+
+/// Cluster (breadth-first) partitioning: identical to DFS but over the
+/// breadth-first order, so each partition is a contiguous "wave" of the
+/// circuit — neighbourhood clusters with moderate cut and, like DFS,
+/// limited concurrency at high k.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterPartitioner;
+
+impl Partitioner for ClusterPartitioner {
+    fn name(&self) -> &'static str {
+        "Cluster"
+    }
+
+    fn partition(&self, g: &CircuitGraph, k: usize, _seed: u64) -> Partitioning {
+        let order = util::bfs_order(g);
+        util::contiguous_blocks(g, &order, k)
+    }
+}
+
+/// Fanout-cone partitioning \[19\]: grow the fanout cone of each primary
+/// input and pack whole cones onto the lightest partition; cone overlap is
+/// resolved first-come (a gate stays where the first cone put it). Low
+/// communication and decent concurrency — the strategy the paper found
+/// second-best at scale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConePartitioner;
+
+impl Partitioner for ConePartitioner {
+    fn name(&self) -> &'static str {
+        "ConePartition"
+    }
+
+    fn partition(&self, g: &CircuitGraph, k: usize, seed: u64) -> Partitioning {
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut assignment = vec![UNASSIGNED; g.len()];
+        let mut loads = vec![0u64; k];
+        let _rng = StdRng::seed_from_u64(seed); // cones are deterministic
+
+        // Collect the cone of every input, largest first so big cones get
+        // first pick of empty partitions.
+        let mut cones: Vec<(VertexId, Vec<VertexId>)> = g
+            .input_vertices()
+            .into_iter()
+            .map(|root| (root, cone_of(g, root)))
+            .collect();
+        cones.sort_by_key(|(root, c)| (std::cmp::Reverse(c.len()), *root));
+
+        // Capacity cap: real input cones overlap heavily (control nets fan
+        // out everywhere), so the first cone can cover most of the circuit;
+        // packing must spill to the next-lightest partition once one fills
+        // up, or the "partitioning" degenerates to one giant partition.
+        let cap = ((g.total_weight() as f64 / k as f64) * 1.05).ceil() as u64;
+        for (_, cone) in &cones {
+            let mut p = util::lightest(&loads);
+            for &v in cone {
+                if assignment[v as usize] != UNASSIGNED {
+                    continue;
+                }
+                if loads[p as usize] + g.vweight(v) > cap {
+                    p = util::lightest(&loads);
+                }
+                assignment[v as usize] = p;
+                loads[p as usize] += g.vweight(v);
+            }
+        }
+        // Gates unreachable from any input (pure feedback logic) go to the
+        // lightest partition.
+        for v in g.vertices() {
+            if assignment[v as usize] == UNASSIGNED {
+                let p = util::lightest(&loads);
+                assignment[v as usize] = p;
+                loads[p as usize] += g.vweight(v);
+            }
+        }
+        Partitioning::new(k, assignment)
+    }
+}
+
+/// Fanout cone of `root` over a [`CircuitGraph`] (root included).
+fn cone_of(g: &CircuitGraph, root: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.len()];
+    let mut stack = vec![root];
+    let mut out = Vec::new();
+    seen[root as usize] = true;
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &(w, _) in g.fanout(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edge_cut, imbalance};
+    use pls_netlist::{CircuitStats, IscasSynth};
+
+    fn test_graph() -> CircuitGraph {
+        let n = IscasSynth::small(200, 11).build();
+        CircuitGraph::from_netlist(&n)
+    }
+
+    fn check_basic(p: &Partitioning, g: &CircuitGraph, k: usize) {
+        assert!(p.is_valid_for(g));
+        assert_eq!(p.k, k);
+        // Every partition non-empty for reasonable k.
+        let sizes = p.sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "empty partition: {sizes:?}");
+    }
+
+    #[test]
+    fn all_baselines_produce_valid_partitions() {
+        let g = test_graph();
+        for k in [2, 4, 8] {
+            check_basic(&RandomPartitioner.partition(&g, k, 1), &g, k);
+            check_basic(&TopologicalPartitioner.partition(&g, k, 1), &g, k);
+            check_basic(&DfsPartitioner.partition(&g, k, 1), &g, k);
+            check_basic(&ClusterPartitioner.partition(&g, k, 1), &g, k);
+            check_basic(&ConePartitioner.partition(&g, k, 1), &g, k);
+        }
+    }
+
+    #[test]
+    fn random_is_balanced() {
+        let g = test_graph();
+        let p = RandomPartitioner.partition(&g, 8, 3);
+        assert!(imbalance(&g, &p) < 1.05);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let g = test_graph();
+        assert_eq!(
+            RandomPartitioner.partition(&g, 4, 5).assignment,
+            RandomPartitioner.partition(&g, 4, 5).assignment
+        );
+        assert_ne!(
+            RandomPartitioner.partition(&g, 4, 5).assignment,
+            RandomPartitioner.partition(&g, 4, 6).assignment
+        );
+    }
+
+    #[test]
+    fn topological_spreads_every_level() {
+        let g = test_graph();
+        let k = 4;
+        let p = TopologicalPartitioner.partition(&g, k, 0);
+        // Any level with >= k gates must be present in all partitions.
+        let depth = g.vertices().filter_map(|v| g.level(v)).max().unwrap() as usize + 1;
+        let mut present = vec![vec![false; k]; depth];
+        let mut pop = vec![0usize; depth];
+        for v in g.vertices() {
+            let l = g.level(v).unwrap() as usize;
+            present[l][p.part(v) as usize] = true;
+            pop[l] += 1;
+        }
+        for l in 0..depth {
+            if pop[l] >= k {
+                // Round-robin with running cursor: distinct count can drop by
+                // at most the wrap offset — with pop >= k all k are hit.
+                assert_eq!(
+                    present[l].iter().filter(|&&b| b).count(),
+                    k,
+                    "level {l} not fully spread"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_has_lower_cut_than_topological() {
+        let g = test_graph();
+        let pd = DfsPartitioner.partition(&g, 8, 0);
+        let pt = TopologicalPartitioner.partition(&g, 8, 0);
+        assert!(
+            edge_cut(&g, &pd) < edge_cut(&g, &pt),
+            "DFS should cut fewer signals than Topological"
+        );
+    }
+
+    #[test]
+    fn cone_has_lower_cut_than_random() {
+        let g = test_graph();
+        let pc = ConePartitioner.partition(&g, 8, 0);
+        let pr = RandomPartitioner.partition(&g, 8, 0);
+        assert!(edge_cut(&g, &pc) < edge_cut(&g, &pr));
+    }
+
+    #[test]
+    fn baselines_scale_to_paper_sized_circuits() {
+        let n = IscasSynth::s5378().build();
+        let s = CircuitStats::of(&n);
+        assert_eq!(s.gates, 2779);
+        let g = CircuitGraph::from_netlist(&n);
+        for part in [
+            &RandomPartitioner as &dyn Partitioner,
+            &TopologicalPartitioner,
+            &DfsPartitioner,
+            &ClusterPartitioner,
+            &ConePartitioner,
+        ] {
+            let p = part.partition(&g, 16, 0);
+            assert!(p.is_valid_for(&g), "{}", part.name());
+        }
+    }
+
+    #[test]
+    fn k_equals_one_puts_everything_in_partition_zero() {
+        let g = test_graph();
+        for part in [
+            &RandomPartitioner as &dyn Partitioner,
+            &TopologicalPartitioner,
+            &DfsPartitioner,
+            &ClusterPartitioner,
+            &ConePartitioner,
+        ] {
+            let p = part.partition(&g, 1, 0);
+            assert!(p.assignment.iter().all(|&x| x == 0), "{}", part.name());
+        }
+    }
+}

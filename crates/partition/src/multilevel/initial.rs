@@ -1,0 +1,95 @@
+//! Initial partitioning phase of the multilevel algorithm (paper §3).
+//!
+//! At the coarsest level the k-way partition is formed directly: "all the
+//! input globules in the coarsest level are split equally across the
+//! partitions such that the load is sufficiently balanced. Any remaining
+//! globules are assigned to partitions in a random manner, maintaining
+//! load balance."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::{CircuitGraph, VertexId};
+use crate::partitioning::Partitioning;
+use crate::util;
+
+/// Form the initial k-way partition of the coarsest graph.
+pub fn initial_partition(g: &CircuitGraph, k: usize, seed: u64) -> Partitioning {
+    let mut assignment = vec![0u32; g.len()];
+    let mut loads = vec![0u64; k];
+
+    // Input globules dealt equally across partitions (round-robin in id
+    // order — "split equally").
+    let inputs = g.input_vertices();
+    for (i, &v) in inputs.iter().enumerate() {
+        let p = (i % k) as u32;
+        assignment[v as usize] = p;
+        loads[p as usize] += g.vweight(v);
+    }
+
+    // Remaining globules in random order, each to the lightest partition.
+    let mut rest: Vec<VertexId> = g.vertices().filter(|&v| !g.is_input(v)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    rest.shuffle(&mut rng);
+    for v in rest {
+        let p = util::lightest(&loads);
+        assignment[v as usize] = p;
+        loads[p as usize] += g.vweight(v);
+    }
+
+    Partitioning::new(k, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::imbalance;
+    use crate::multilevel::coarsen::{coarsen, CoarsenConfig};
+    use pls_netlist::IscasSynth;
+
+    fn coarsest(gates: usize, k: usize, seed: u64) -> CircuitGraph {
+        let g = CircuitGraph::from_netlist(&IscasSynth::small(gates, seed).build());
+        coarsen(&g, &CoarsenConfig::for_k(k))
+            .last()
+            .map(|l| l.graph.clone())
+            .unwrap_or(g)
+    }
+
+    #[test]
+    fn inputs_spread_across_partitions() {
+        let g = coarsest(400, 4, 2);
+        let p = initial_partition(&g, 4, 0);
+        let inputs = g.input_vertices();
+        let mut count = vec![0usize; 4];
+        for &v in &inputs {
+            count[p.part(v) as usize] += 1;
+        }
+        let max = count.iter().max().unwrap();
+        let min = count.iter().min().unwrap();
+        assert!(max - min <= 1, "inputs not split equally: {count:?}");
+    }
+
+    #[test]
+    fn load_is_sufficiently_balanced() {
+        let g = coarsest(600, 4, 3);
+        let p = initial_partition(&g, 4, 1);
+        // Globules are chunky, so allow generous slack; refinement tightens
+        // this later.
+        assert!(imbalance(&g, &p) < 1.5, "imbalance {}", imbalance(&g, &p));
+    }
+
+    #[test]
+    fn every_partition_nonempty() {
+        let g = coarsest(400, 8, 4);
+        let p = initial_partition(&g, 8, 2);
+        assert!(p.sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = coarsest(400, 4, 5);
+        assert_eq!(initial_partition(&g, 4, 7).assignment, initial_partition(&g, 4, 7).assignment);
+        assert_ne!(initial_partition(&g, 4, 7).assignment, initial_partition(&g, 4, 8).assignment);
+    }
+}

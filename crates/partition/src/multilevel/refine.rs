@@ -1,0 +1,266 @@
+//! Greedy k-way refinement (paper §3, "Refinement").
+//!
+//! "The greedy refinement algorithm selects a vertex at random and computes
+//! the gain in the cut-set for every partition that the vertex can be moved
+//! to. The partition with maximum gain is then selected for the move. A
+//! move is feasible if it reduces the cut-set and preserves load balance.
+//! Once a vertex is selected for a move, it is locked, preventing its move
+//! until an iteration of the greedy algorithm finishes."
+//!
+//! Gains count signal weight in *both* directions (fanout and fanin): an
+//! edge crossing a partition boundary costs a message whichever way it
+//! points.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::{CircuitGraph, VertexId};
+use crate::metrics::edge_cut;
+use crate::partitioning::Partitioning;
+
+/// Configuration of the greedy refiner.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig {
+    /// Allowed load slack: max partition load ≤ `(1 + eps) * total / k`.
+    pub balance_eps: f64,
+    /// Maximum iterations (passes); the paper observes convergence "in a
+    /// few iterations", so the default is small.
+    pub max_iters: usize,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        // A tight balance bound matters more than the last few cut points:
+        // the makespan of an optimistic simulation tracks the most-loaded
+        // node directly, so 3% slack beats the customary 10%.
+        GreedyConfig { balance_eps: 0.03, max_iters: 8 }
+    }
+}
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Cut before refinement.
+    pub cut_before: u64,
+    /// Cut after refinement.
+    pub cut_after: u64,
+    /// Total vertex moves applied.
+    pub moves: usize,
+    /// Iterations executed before convergence.
+    pub iters: usize,
+}
+
+/// Weight of `v`'s connections into each partition (only partitions that
+/// actually neighbour `v` get entries; the caller reads `conn[p]`).
+fn connectivity(g: &CircuitGraph, p: &Partitioning, v: VertexId, conn: &mut [u64]) {
+    conn.iter_mut().for_each(|c| *c = 0);
+    for (w, ew) in g.neighbors(v) {
+        conn[p.part(w) as usize] += ew;
+    }
+}
+
+/// Run greedy k-way refinement in place. Returns statistics.
+pub fn greedy_refine(
+    g: &CircuitGraph,
+    p: &mut Partitioning,
+    cfg: &GreedyConfig,
+    seed: u64,
+) -> RefineStats {
+    let k = p.k;
+    let cut_before = edge_cut(g, p);
+    let mut loads = p.loads(g);
+    let lmax = (((g.total_weight() as f64 / k as f64) * (1.0 + cfg.balance_eps)).ceil()) as u64;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<VertexId> = g.vertices().collect();
+    let mut conn = vec![0u64; k];
+    let mut moves = 0usize;
+    let mut iters = 0usize;
+
+    for _ in 0..cfg.max_iters {
+        iters += 1;
+        order.shuffle(&mut rng);
+        let mut moved_this_iter = 0usize;
+        // Locks are per-iteration: a moved vertex stays put until the next
+        // pass.
+        for &v in &order {
+            let from = p.part(v);
+            connectivity(g, p, v, &mut conn);
+            // Best target by gain = conn[to] - conn[from].
+            let mut best: Option<(u32, i64)> = None;
+            for to in 0..k as u32 {
+                if to == from {
+                    continue;
+                }
+                if conn[to as usize] == 0 {
+                    continue; // moving to a non-adjacent partition never reduces cut
+                }
+                let gain = conn[to as usize] as i64 - conn[from as usize] as i64;
+                let feasible = loads[to as usize] + g.vweight(v) <= lmax;
+                if !feasible {
+                    continue;
+                }
+                match best {
+                    Some((bt, bg)) if gain < bg || (gain == bg && loads[to as usize] >= loads[bt as usize]) => {}
+                    _ => best = Some((to, gain)),
+                }
+            }
+            if let Some((to, gain)) = best {
+                if gain > 0 {
+                    loads[from as usize] -= g.vweight(v);
+                    loads[to as usize] += g.vweight(v);
+                    p.set(v, to);
+                    moved_this_iter += 1;
+                }
+            }
+        }
+        moves += moved_this_iter;
+        if moved_this_iter == 0 {
+            break; // converged
+        }
+    }
+
+    RefineStats { cut_before, cut_after: edge_cut(g, p), moves, iters }
+}
+
+/// Restore feasibility when a projected partition exceeds the balance
+/// bound (coarse globules are chunky, so the initial phase can overshoot).
+/// Moves boundary vertices out of overloaded partitions, preferring moves
+/// that lose the least cut. Runs before [`greedy_refine`].
+pub fn rebalance(g: &CircuitGraph, p: &mut Partitioning, balance_eps: f64, seed: u64) -> usize {
+    let k = p.k;
+    let mut loads = p.loads(g);
+    let lmax = (((g.total_weight() as f64 / k as f64) * (1.0 + balance_eps)).ceil()) as u64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA1A_9CE5);
+    let mut conn = vec![0u64; k];
+    let mut moves = 0usize;
+
+    // Bounded effort: each pass scans all vertices once.
+    for _ in 0..4 {
+        if loads.iter().all(|&l| l <= lmax) {
+            break;
+        }
+        let mut order: Vec<VertexId> = g.vertices().collect();
+        order.shuffle(&mut rng);
+        for &v in &order {
+            let from = p.part(v);
+            if loads[from as usize] <= lmax {
+                continue;
+            }
+            connectivity(g, p, v, &mut conn);
+            // Least-loss target with capacity.
+            let mut best: Option<(u32, i64)> = None;
+            for to in 0..k as u32 {
+                if to == from || loads[to as usize] + g.vweight(v) > lmax {
+                    continue;
+                }
+                let gain = conn[to as usize] as i64 - conn[from as usize] as i64;
+                if best.is_none_or(|(_, bg)| gain > bg) {
+                    best = Some((to, gain));
+                }
+            }
+            if let Some((to, _)) = best {
+                loads[from as usize] -= g.vweight(v);
+                loads[to as usize] += g.vweight(v);
+                p.set(v, to);
+                moves += 1;
+            }
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RandomPartitioner;
+    use crate::metrics::imbalance;
+    use crate::Partitioner;
+    use pls_netlist::IscasSynth;
+
+    fn g0(gates: usize, seed: u64) -> CircuitGraph {
+        CircuitGraph::from_netlist(&IscasSynth::small(gates, seed).build())
+    }
+
+    #[test]
+    fn refinement_never_increases_cut() {
+        let g = g0(300, 1);
+        for seed in 0..5 {
+            let mut p = RandomPartitioner.partition(&g, 4, seed);
+            let stats = greedy_refine(&g, &mut p, &GreedyConfig::default(), seed);
+            assert!(stats.cut_after <= stats.cut_before);
+            assert_eq!(stats.cut_after, edge_cut(&g, &p));
+        }
+    }
+
+    #[test]
+    fn refinement_substantially_improves_random() {
+        let g = g0(500, 2);
+        let mut p = RandomPartitioner.partition(&g, 4, 0);
+        let stats = greedy_refine(&g, &mut p, &GreedyConfig::default(), 0);
+        assert!(
+            (stats.cut_after as f64) < 0.8 * stats.cut_before as f64,
+            "greedy should recover >20% of a random partition's cut: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn refinement_preserves_balance() {
+        let g = g0(400, 3);
+        let cfg = GreedyConfig::default();
+        let mut p = RandomPartitioner.partition(&g, 4, 0);
+        greedy_refine(&g, &mut p, &cfg, 0);
+        assert!(imbalance(&g, &p) <= 1.0 + cfg.balance_eps + 0.01);
+    }
+
+    #[test]
+    fn converges_in_few_iterations() {
+        // The paper: "the greedy algorithm was found to converge in a few
+        // iterations".
+        let g = g0(400, 4);
+        let mut p = RandomPartitioner.partition(&g, 8, 0);
+        let stats = greedy_refine(&g, &mut p, &GreedyConfig { max_iters: 50, ..Default::default() }, 0);
+        assert!(stats.iters <= 15, "took {} iterations", stats.iters);
+    }
+
+    #[test]
+    fn zero_cut_partition_stays_zero_cut() {
+        // Two disconnected chains, one per partition: cut 0, nothing moves.
+        let fanout = vec![vec![(1, 1)], vec![], vec![(3, 1)], vec![]];
+        let g = CircuitGraph::from_parts(
+            "two".into(),
+            vec![1; 4],
+            fanout,
+            vec![true, false, true, false],
+        );
+        let mut p = Partitioning::new(2, vec![0, 0, 1, 1]);
+        let stats = greedy_refine(&g, &mut p, &GreedyConfig::default(), 0);
+        assert_eq!(stats.cut_after, 0);
+        assert_eq!(p.assignment, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn rebalance_restores_feasibility() {
+        let g = g0(300, 5);
+        // Everything in partition 0: grossly infeasible for k=4.
+        let mut p = Partitioning::new(4, vec![0; g.len()]);
+        rebalance(&g, &mut p, 0.10, 0);
+        let loads = p.loads(&g);
+        let lmax = ((g.total_weight() as f64 / 4.0) * 1.10).ceil() as u64;
+        assert!(
+            loads.iter().all(|&l| l <= lmax),
+            "loads {loads:?} exceed {lmax}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = g0(300, 6);
+        let mut p1 = RandomPartitioner.partition(&g, 4, 9);
+        let mut p2 = p1.clone();
+        greedy_refine(&g, &mut p1, &GreedyConfig::default(), 3);
+        greedy_refine(&g, &mut p2, &GreedyConfig::default(), 3);
+        assert_eq!(p1.assignment, p2.assignment);
+    }
+}

@@ -1,0 +1,113 @@
+//! The result of a partitioning: a k-way vertex assignment.
+
+use crate::graph::{CircuitGraph, VertexId};
+
+/// A k-way assignment of graph vertices to partitions `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Number of partitions.
+    pub k: usize,
+    /// `assignment[v]` = partition of vertex `v`.
+    pub assignment: Vec<u32>,
+}
+
+impl Partitioning {
+    /// Create from an explicit assignment vector.
+    pub fn new(k: usize, assignment: Vec<u32>) -> Partitioning {
+        debug_assert!(assignment.iter().all(|&p| (p as usize) < k));
+        Partitioning { k, assignment }
+    }
+
+    /// Partition of a vertex.
+    pub fn part(&self, v: VertexId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Move a vertex to another partition.
+    pub fn set(&mut self, v: VertexId, p: u32) {
+        debug_assert!((p as usize) < self.k);
+        self.assignment[v as usize] = p;
+    }
+
+    /// Per-partition total vertex weight.
+    pub fn loads(&self, g: &CircuitGraph) -> Vec<u64> {
+        let mut loads = vec![0u64; self.k];
+        for v in g.vertices() {
+            loads[self.assignment[v as usize] as usize] += g.vweight(v);
+        }
+        loads
+    }
+
+    /// Per-partition vertex count (unweighted).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Check structural validity against a graph: every vertex assigned to
+    /// a partition `< k` and the vector length matches.
+    pub fn is_valid_for(&self, g: &CircuitGraph) -> bool {
+        self.assignment.len() == g.len()
+            && self.assignment.iter().all(|&p| (p as usize) < self.k)
+    }
+
+    /// Project this coarse-level partitioning to a finer level through a
+    /// `fine vertex -> coarse vertex` map (the multilevel "recursive
+    /// projection to the next higher level" of the paper's Figure 2).
+    pub fn project(&self, fine_to_coarse: &[u32]) -> Partitioning {
+        let assignment =
+            fine_to_coarse.iter().map(|&c| self.assignment[c as usize]).collect();
+        Partitioning { k: self.k, assignment }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph3() -> CircuitGraph {
+        CircuitGraph::from_parts(
+            "t".into(),
+            vec![1, 2, 3],
+            vec![vec![(1, 1)], vec![(2, 1)], vec![]],
+            vec![true, false, false],
+        )
+    }
+
+    #[test]
+    fn loads_and_sizes() {
+        let g = graph3();
+        let p = Partitioning::new(2, vec![0, 1, 1]);
+        assert_eq!(p.loads(&g), vec![1, 5]);
+        assert_eq!(p.sizes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn validity() {
+        let g = graph3();
+        assert!(Partitioning::new(2, vec![0, 1, 0]).is_valid_for(&g));
+        assert!(!Partitioning::new(2, vec![0, 1]).is_valid_for(&g)); // wrong len
+        let bad = Partitioning { k: 2, assignment: vec![0, 1, 2] }; // part 2 >= k
+        assert!(!bad.is_valid_for(&g));
+    }
+
+    #[test]
+    fn projection_follows_map() {
+        // Coarse: 2 vertices in partitions [0, 1]. Fine: 4 vertices mapping
+        // 0,1 -> coarse 0 and 2,3 -> coarse 1.
+        let coarse = Partitioning::new(2, vec![0, 1]);
+        let fine = coarse.project(&[0, 0, 1, 1]);
+        assert_eq!(fine.assignment, vec![0, 0, 1, 1]);
+        assert_eq!(fine.k, 2);
+    }
+
+    #[test]
+    fn set_moves_vertex() {
+        let mut p = Partitioning::new(3, vec![0, 0, 0]);
+        p.set(1, 2);
+        assert_eq!(p.part(1), 2);
+    }
+}

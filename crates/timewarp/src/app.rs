@@ -1,0 +1,126 @@
+//! The application interface: what a simulation model must provide.
+//!
+//! This plays the role of WARPED's `SimulationObject` base class \[18\]: the
+//! kernel owns per-LP state (so it can checkpoint and restore it), and the
+//! application provides pure-functional event handlers over that state.
+//! Determinism contract: `execute` must be a deterministic function of
+//! `(lp, state, now, msgs)` — all randomness must be drawn from state —
+//! because Time Warp re-executes events after rollbacks and the re-run
+//! must reproduce the original sends exactly.
+
+use crate::event::LpId;
+use crate::time::VTime;
+
+/// Buffer through which an LP schedules new events during `execute`.
+///
+/// The kernel stamps ids and send times; the application only names the
+/// destination, the delay (or absolute time during initialization) and the
+/// payload.
+#[derive(Debug)]
+pub struct EventSink<M> {
+    now: VTime,
+    /// `(dst, recv_time, msg)` collected this call.
+    pub(crate) out: Vec<(LpId, VTime, M)>,
+}
+
+impl<M> EventSink<M> {
+    pub(crate) fn new(now: VTime) -> EventSink<M> {
+        EventSink { now, out: Vec::new() }
+    }
+
+    /// The virtual time of the executing event batch.
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Schedule `msg` for `dst` at `now + delay`. `delay` must be positive:
+    /// zero-delay events would admit same-time cycles, which discrete event
+    /// kernels built on timestamp order cannot execute.
+    pub fn schedule(&mut self, dst: LpId, delay: u64, msg: M) {
+        assert!(delay > 0, "zero-delay events are not allowed");
+        self.out.push((dst, self.now.after(delay), msg));
+    }
+
+    /// Schedule `msg` for `dst` at absolute time `at` (must be `> now`).
+    /// Mainly used by `init_events` to seed the event population.
+    pub fn schedule_at(&mut self, dst: LpId, at: VTime, msg: M) {
+        assert!(at > self.now, "events must be scheduled in the future");
+        self.out.push((dst, at, msg));
+    }
+
+    /// Number of events scheduled so far in this call.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been scheduled in this call.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// A discrete event simulation model over a fixed population of LPs.
+///
+/// Implementations are shared by every cluster/thread (`Sync`), so all
+/// mutable simulation state must live in `State`.
+pub trait Application: Send + Sync + 'static {
+    /// Event payload. `PartialEq` is required by lazy cancellation (a
+    /// regenerated event annihilates a pending cancellation only if it is
+    /// identical); `Clone` because output copies are retained for
+    /// cancellation.
+    type Msg: Clone + PartialEq + Send + std::fmt::Debug + 'static;
+    /// Checkpointable LP state.
+    type State: Clone + Send + 'static;
+
+    /// Total number of LPs (ids are `0..num_lps`).
+    fn num_lps(&self) -> usize;
+
+    /// Initial state of an LP at time zero.
+    fn init_state(&self, lp: LpId) -> Self::State;
+
+    /// Events to seed the simulation with (called once per LP at startup;
+    /// `sink.now()` is [`VTime::ZERO`]).
+    fn init_events(&self, lp: LpId, state: &mut Self::State, sink: &mut EventSink<Self::Msg>);
+
+    /// Execute the batch of all messages for `lp` at time `now`. `msgs`
+    /// holds `(sender, payload)` pairs in a deterministic order (sorted by
+    /// sender id, then send order).
+    fn execute(
+        &self,
+        lp: LpId,
+        state: &mut Self::State,
+        now: VTime,
+        msgs: &[(LpId, Self::Msg)],
+        sink: &mut EventSink<Self::Msg>,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_stamps_receive_times() {
+        let mut s: EventSink<u8> = EventSink::new(VTime(10));
+        assert!(s.is_empty());
+        s.schedule(3, 5, 42);
+        s.schedule_at(4, VTime(100), 43);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.out[0], (3, VTime(15), 42));
+        assert_eq!(s.out[1], (4, VTime(100), 43));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_delay_rejected() {
+        let mut s: EventSink<u8> = EventSink::new(VTime(10));
+        s.schedule(3, 0, 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_the_past_rejected() {
+        let mut s: EventSink<u8> = EventSink::new(VTime(10));
+        s.schedule_at(3, VTime(10), 42);
+    }
+}

@@ -1,0 +1,44 @@
+//! An optimistic (Time Warp) parallel discrete event simulation kernel —
+//! a Rust reimplementation of the role WARPED \[18\] plays in the paper's
+//! SAVANT/TYVIS/WARPED stack.
+//!
+//! Three executives share one protocol engine ([`lp::LpRuntime`]):
+//!
+//! * [`sequential::run_sequential`] — single event queue, the baseline and
+//!   determinism oracle;
+//! * [`platform::run_platform`] — a deterministic virtual platform that
+//!   models N workstation nodes (CPU cost model + network latency) running
+//!   the real Time Warp protocol; all paper tables/figures use this;
+//! * [`threaded::run_threaded`] — real OS threads, one per cluster,
+//!   crossbeam channels and synchronized GVT, for machines with actual
+//!   parallel hardware.
+//!
+//! Features: aggressive and lazy cancellation, periodic state saving with
+//! coast-forward, batched simultaneous events, exact or synchronized GVT
+//! with fossil collection, and detailed statistics (rollbacks, anti and
+//! application messages — the paper's Figures 5 and 6).
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod config;
+pub mod cost;
+pub mod event;
+pub mod lp;
+pub mod phold;
+pub mod platform;
+pub mod sequential;
+pub mod stats;
+pub mod threaded;
+pub mod time;
+
+pub use app::{Application, EventSink};
+pub use config::{Cancellation, KernelConfig};
+pub use cost::CostModel;
+pub use event::{AntiEvent, Event, EventId, LpId, Transmission};
+pub use phold::Phold;
+pub use platform::{run_platform, PlatformConfig, PlatformError, PlatformResult};
+pub use sequential::{run_sequential, SequentialResult};
+pub use stats::{KernelStats, LpCounters};
+pub use threaded::{run_threaded, ThreadedResult};
+pub use time::VTime;

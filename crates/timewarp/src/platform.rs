@@ -1,0 +1,583 @@
+//! The virtual-platform executive: a deterministic discrete-event model of
+//! N workstation nodes running the Time Warp protocol over a network.
+//!
+//! The paper measured wall-clock time on 8 dual-Pentium-II workstations on
+//! Fast Ethernet. That hardware is simulated here: every node has a
+//! virtual CPU clock advanced by the [`CostModel`] for each protocol
+//! action (event execution, state saving, rollback, message send/receive,
+//! GVT rounds), and inter-node messages arrive after a wire latency. The
+//! *protocol* is executed exactly — real [`LpRuntime`] instances with real
+//! rollbacks, anti-messages and fossil collection — so rollback counts and
+//! message counts are genuine Time Warp dynamics, and "execution time" is
+//! the makespan (the largest node clock at termination).
+//!
+//! Everything is deterministic given the application, making the
+//! experiment tables exactly reproducible — and, unlike wall-clock runs on
+//! whatever machine CI lands on, meaningfully comparable across runs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::app::Application;
+use crate::config::KernelConfig;
+use crate::cost::CostModel;
+use crate::event::{LpId, Transmission};
+use crate::lp::LpRuntime;
+use crate::stats::{KernelStats, LpCounters};
+use crate::time::VTime;
+
+/// Platform-level configuration.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct PlatformConfig {
+    /// Time Warp kernel knobs (cancellation, checkpointing, GVT period).
+    pub kernel: KernelConfig,
+    /// CPU/network cost model.
+    pub cost: CostModel,
+    /// Abort the run when any node holds more than this many state
+    /// checkpoints at a GVT round — models the 128 MB workstations of the
+    /// paper, whose s15850 runs on 2 nodes "ran out of memory".
+    pub state_limit_per_node: Option<u64>,
+}
+
+
+/// Why a platform run ended without a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// A node exceeded [`PlatformConfig::state_limit_per_node`].
+    OutOfMemory {
+        /// The node that died.
+        node: usize,
+        /// Checkpoints held at the time.
+        states_held: u64,
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::OutOfMemory { node, states_held } => {
+                write!(f, "node {node} ran out of memory ({states_held} saved states)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Result of a virtual-platform run.
+#[derive(Debug)]
+pub struct PlatformResult<A: Application> {
+    /// Aggregated Time Warp statistics.
+    pub stats: KernelStats,
+    /// Makespan: the largest node clock, in modeled seconds — the paper's
+    /// "Execution Time - secs" axis.
+    pub exec_time_s: f64,
+    /// Final clock of every node, in nanoseconds.
+    pub node_clocks_ns: Vec<u64>,
+    /// Per-LP counters (rollback/load hotspots).
+    pub lp_stats: Vec<LpCounters>,
+    /// Final committed state of every LP.
+    pub states: Vec<A::State>,
+}
+
+/// One simulated workstation.
+struct Node {
+    clock_ns: u64,
+    /// Lazy min-heap over `(next_time, lp)`; entries are re-pushed on every
+    /// queue change and validated on pop.
+    ready: BinaryHeap<Reverse<(VTime, LpId)>>,
+    batches: u64,
+}
+
+/// In-flight network message.
+struct Flight<M> {
+    arrive_ns: u64,
+    tx: Transmission<M>,
+}
+
+/// Run `app` on `nodes` simulated workstations with the given LP→node
+/// assignment (`assignment[lp] = node`).
+pub fn run_platform<A: Application>(
+    app: &A,
+    assignment: &[u32],
+    nodes: usize,
+    cfg: &PlatformConfig,
+) -> Result<PlatformResult<A>, PlatformError> {
+    assert_eq!(assignment.len(), app.num_lps());
+    assert!(nodes >= 1);
+    assert!(assignment.iter().all(|&n| (n as usize) < nodes));
+    let kernel = cfg.kernel.normalized();
+    let cost = cfg.cost;
+
+    let mut stats = KernelStats::default();
+    let mut outbox: Vec<Transmission<A::Msg>> = Vec::new();
+
+    // Build LPs, collecting init events.
+    let mut init_events = Vec::new();
+    let mut lps: Vec<LpRuntime<A>> = (0..app.num_lps() as LpId)
+        .map(|i| LpRuntime::new(app, i, kernel, &mut init_events))
+        .collect();
+
+    let mut node_state: Vec<Node> = (0..nodes)
+        .map(|_| Node { clock_ns: 0, ready: BinaryHeap::new(), batches: 0 })
+        .collect();
+
+    let mut net: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut flights: std::collections::HashMap<usize, Flight<A::Msg>> =
+        std::collections::HashMap::new();
+    let mut flight_seq = 0u64;
+    let mut flight_key = 0usize;
+    // Ingress link occupancy per node: messages serialize onto the
+    // destination's link, so bursts queue (congestion).
+    let mut link_free_ns = vec![0u64; nodes];
+
+    // Deliver init events "for free" at platform time 0 (the paper's
+    // framework partitions after elaboration; setup cost is not measured).
+    for ev in init_events {
+        let dst = ev.dst;
+        lps[dst as usize].receive(app, Transmission::Positive(ev), &mut stats, &mut outbox);
+        debug_assert!(outbox.is_empty(), "init events cannot roll anything back");
+        let nt = lps[dst as usize].next_time();
+        if !nt.is_inf() {
+            node_state[assignment[dst as usize] as usize].ready.push(Reverse((nt, dst)));
+        }
+    }
+
+    let mut batches_since_gvt = 0u64;
+    let gvt_every = kernel.gvt_period * nodes as u64;
+    // Bounded-window optimism control: LPs may only execute events up to
+    // `last_gvt + window`. `force_gvt` re-synchronizes when every node is
+    // blocked at the window edge.
+    let mut last_gvt = VTime::ZERO;
+    let mut force_gvt = false;
+
+    // Deliver a drained outbox from node `from`, charging its clock for
+    // sends and queuing remote transmissions on the wire.
+    macro_rules! route_outbox {
+        ($from:expr) => {
+            while let Some(tx) = outbox.pop() {
+                let dst = tx.dst() as usize;
+                let dst_node = assignment[dst] as usize;
+                if dst_node == $from {
+                    node_state[$from].clock_ns += cost.local_enqueue_ns;
+                    // Local delivery is immediate; it may trigger a local
+                    // (secondary) rollback whose antis land back in outbox.
+                    lps[dst].receive(app, tx, &mut stats, &mut outbox);
+                    let nt = lps[dst].next_time();
+                    if !nt.is_inf() {
+                        node_state[dst_node].ready.push(Reverse((nt, dst as LpId)));
+                    }
+                } else {
+                    if tx.is_positive() {
+                        stats.app_messages += 1;
+                    } else {
+                        stats.anti_messages_remote += 1;
+                    }
+                    node_state[$from].clock_ns += cost.msg_send_ns;
+                    let wire_at = node_state[$from].clock_ns + cost.net_latency_ns;
+                    let arrive = wire_at.max(link_free_ns[dst_node]) + cost.msg_wire_ns;
+                    link_free_ns[dst_node] = arrive;
+                    net.push(Reverse((arrive, flight_seq, flight_key)));
+                    flights.insert(flight_key, Flight { arrive_ns: arrive, tx });
+                    flight_seq += 1;
+                    flight_key += 1;
+                }
+            }
+        };
+    }
+
+    loop {
+        // Validate the lazy heaps, then pick the busy node with the
+        // smallest clock (ties → lowest node id, for determinism).
+        for ns in node_state.iter_mut() {
+            while let Some(&Reverse((t, lp))) = ns.ready.peek() {
+                if lps[lp as usize].next_time() == t {
+                    break;
+                }
+                ns.ready.pop();
+            }
+        }
+        let horizon = match kernel.window {
+            Some(w) => last_gvt.after(w),
+            None => VTime::INF,
+        };
+        let best_node = node_state
+            .iter()
+            .enumerate()
+            .filter(|(_, ns)| ns.ready.peek().is_some_and(|&Reverse((t, _))| t <= horizon))
+            .min_by_key(|(i, ns)| (ns.clock_ns, *i))
+            .map(|(i, _)| i);
+        let next_arrival = net.peek().map(|&Reverse((a, _, _))| a);
+
+        match (best_node, next_arrival) {
+            (None, None) => {
+                // No executable work. Either truly quiescent (done) or all
+                // remaining events sit beyond the optimism window — then a
+                // GVT round must advance the horizon.
+                let throttled = node_state.iter().any(|ns| ns.ready.peek().is_some());
+                if throttled {
+                    force_gvt = true;
+                } else {
+                    break; // quiescent: done
+                }
+            }
+            (exec, arr) => {
+                let exec_clock = exec.map(|i| node_state[i].clock_ns);
+                let deliver_first = match (exec_clock, arr) {
+                    (Some(c), Some(a)) => a < c,
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if deliver_first {
+                    let Reverse((arrive, _, key)) = net.pop().unwrap();
+                    let flight = flights.remove(&key).unwrap();
+                    debug_assert_eq!(flight.arrive_ns, arrive);
+                    let dst = flight.tx.dst() as usize;
+                    let dnode = assignment[dst] as usize;
+                    let node = &mut node_state[dnode];
+                    node.clock_ns = node.clock_ns.max(arrive) + cost.msg_recv_ns;
+                    let rb_before = stats.rollbacks();
+                    let undone_before = stats.events_rolled_back;
+                    let coasted_before = stats.events_coasted;
+                    lps[dst].receive(app, flight.tx, &mut stats, &mut outbox);
+                    if stats.rollbacks() > rb_before {
+                        node.clock_ns += cost.rollback_ns
+                            + cost.undo_per_event_ns
+                                * (stats.events_rolled_back - undone_before)
+                            + cost.event_exec_ns
+                                * (stats.events_coasted - coasted_before);
+                    }
+                    let nt = lps[dst].next_time();
+                    if !nt.is_inf() {
+                        node_state[dnode].ready.push(Reverse((nt, dst as LpId)));
+                    }
+                    route_outbox!(dnode);
+                } else {
+                    let ni = exec.unwrap();
+                    let Reverse((t, lp)) = node_state[ni].ready.pop().unwrap();
+                    debug_assert_eq!(lps[lp as usize].next_time(), t);
+                    let pe_before = stats.events_processed;
+                    let saves_before = stats.states_saved;
+                    lps[lp as usize].execute_next(app, &mut stats, &mut outbox);
+                    let batch = stats.events_processed - pe_before;
+                    node_state[ni].clock_ns += cost.batch_overhead_ns
+                        + cost.event_exec_ns * batch
+                        + cost.state_save_ns * (stats.states_saved - saves_before);
+                    node_state[ni].batches += 1;
+                    batches_since_gvt += 1;
+                    let nt = lps[lp as usize].next_time();
+                    if !nt.is_inf() {
+                        node_state[ni].ready.push(Reverse((nt, lp)));
+                    }
+                    route_outbox!(ni);
+                }
+            }
+        }
+
+        // Periodic GVT + fossil collection (exact: the platform sees
+        // everything). Models the cost of a token round on every node.
+        if batches_since_gvt >= gvt_every || force_gvt {
+            batches_since_gvt = 0;
+            force_gvt = false;
+            let in_flight = flights
+                .values()
+                .map(|f| f.tx.recv_time())
+                .min()
+                .unwrap_or(VTime::INF);
+            let gvt = lps
+                .iter()
+                .map(|l| l.local_min())
+                .min()
+                .unwrap_or(VTime::INF)
+                .min(in_flight);
+            last_gvt = gvt;
+            stats.gvt_rounds += 1;
+            let mut held_total = 0u64;
+            let mut per_node = vec![0u64; nodes];
+            for lp in &mut lps {
+                lp.fossil_collect(gvt, &mut stats);
+            }
+            for (i, lp) in lps.iter().enumerate() {
+                let h = lp.state_queue_len() as u64;
+                held_total += h;
+                per_node[assignment[i] as usize] += h;
+            }
+            stats.state_queue_high_water = stats.state_queue_high_water.max(held_total);
+            for (i, ns) in node_state.iter_mut().enumerate() {
+                ns.clock_ns += cost.gvt_round_ns;
+                if let Some(limit) = cfg.state_limit_per_node {
+                    if per_node[i] > limit {
+                        return Err(PlatformError::OutOfMemory {
+                            node: i,
+                            states_held: per_node[i],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Final commit.
+    for lp in &lps {
+        debug_assert_eq!(lp.pending_cancel_len(), 0, "LP {} parked with unsent antis", lp.id());
+        debug_assert_eq!(lp.orphan_antis_len(), 0, "LP {} has orphan antis", lp.id());
+        debug_assert_eq!(lp.pending_len(), 0, "LP {} has unprocessed events", lp.id());
+    }
+    let mut held_total = 0u64;
+    for lp in &lps {
+        held_total += lp.state_queue_len() as u64;
+    }
+    stats.state_queue_high_water = stats.state_queue_high_water.max(held_total);
+    for lp in &mut lps {
+        lp.fossil_collect(VTime::INF, &mut stats);
+    }
+    stats.final_gvt = VTime::INF;
+
+    let max_clock = node_state.iter().map(|n| n.clock_ns).max().unwrap_or(0);
+    Ok(PlatformResult {
+        stats,
+        exec_time_s: max_clock as f64 / 1e9,
+        node_clocks_ns: node_state.iter().map(|n| n.clock_ns).collect(),
+        lp_stats: lps.iter().map(|lp| lp.own_stats()).collect(),
+        states: lps.into_iter().map(|lp| lp.into_state()).collect(),
+    })
+}
+
+/// Modeled execution time of the sequential baseline under the same cost
+/// model: `events × seq_event_ns` (single queue, no Time Warp overhead).
+pub fn sequential_modeled_time_s(events: u64, cost: &CostModel) -> f64 {
+    (events * cost.seq_event_ns) as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EventSink;
+    use crate::sequential::run_sequential;
+
+    /// A ring of LPs passing tokens with per-hop jitter in virtual time:
+    /// enough structure for cross-node causality violations.
+    #[derive(Debug)]
+    struct Ring {
+        n: usize,
+        hops: u64,
+    }
+    impl Application for Ring {
+        type Msg = u64; // remaining hops
+        type State = u64; // tokens seen
+
+        fn num_lps(&self) -> usize {
+            self.n
+        }
+        fn init_state(&self, _lp: LpId) -> u64 {
+            0
+        }
+        fn init_events(&self, lp: LpId, _s: &mut u64, sink: &mut EventSink<u64>) {
+            // Every LP launches a token.
+            sink.schedule_at(lp, VTime(1 + (lp as u64 % 3)), self.hops);
+        }
+        fn execute(
+            &self,
+            lp: LpId,
+            state: &mut u64,
+            _now: VTime,
+            msgs: &[(LpId, u64)],
+            sink: &mut EventSink<u64>,
+        ) {
+            for &(_, hops) in msgs {
+                *state += 1;
+                if hops > 0 {
+                    let delay = 1 + (lp as u64 * 7 + hops) % 5;
+                    sink.schedule((lp + 1) % self.n as u32, delay, hops - 1);
+                }
+            }
+        }
+    }
+
+    fn round_robin(n: usize, nodes: usize) -> Vec<u32> {
+        (0..n).map(|i| (i % nodes) as u32).collect()
+    }
+
+    #[test]
+    fn matches_sequential_states() {
+        let app = Ring { n: 12, hops: 40 };
+        let seq = run_sequential(&app);
+        for nodes in [1, 2, 3, 4] {
+            let res = run_platform(
+                &app,
+                &round_robin(12, nodes),
+                nodes,
+                &PlatformConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(res.states, seq.states, "{nodes}-node platform diverged");
+            assert_eq!(res.stats.events_committed, seq.stats.events_processed);
+        }
+    }
+
+    #[test]
+    fn multi_node_runs_do_roll_back() {
+        // With several nodes and skewed costs, optimism must misfire
+        // somewhere — otherwise the test proves nothing.
+        let app = Ring { n: 12, hops: 60 };
+        let res =
+            run_platform(&app, &round_robin(12, 4), 4, &PlatformConfig::default()).unwrap();
+        assert!(res.stats.rollbacks() > 0, "expected at least one rollback");
+        assert!(res.stats.app_messages > 0);
+    }
+
+    #[test]
+    fn single_node_never_rolls_back() {
+        let app = Ring { n: 12, hops: 40 };
+        let res =
+            run_platform(&app, &round_robin(12, 1), 1, &PlatformConfig::default()).unwrap();
+        assert_eq!(res.stats.rollbacks(), 0);
+        assert_eq!(res.stats.app_messages, 0, "no remote messages on one node");
+    }
+
+    #[test]
+    fn deterministic() {
+        let app = Ring { n: 10, hops: 30 };
+        let a = run_platform(&app, &round_robin(10, 3), 3, &PlatformConfig::default()).unwrap();
+        let b = run_platform(&app, &round_robin(10, 3), 3, &PlatformConfig::default()).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.node_clocks_ns, b.node_clocks_ns);
+    }
+
+    #[test]
+    fn lazy_cancellation_also_matches_sequential() {
+        let app = Ring { n: 12, hops: 40 };
+        let seq = run_sequential(&app);
+        let cfg = PlatformConfig {
+            kernel: KernelConfig {
+                cancellation: crate::config::Cancellation::Lazy,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = run_platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
+        assert_eq!(res.states, seq.states);
+    }
+
+    #[test]
+    fn sparse_checkpoints_also_match_sequential() {
+        let app = Ring { n: 12, hops: 40 };
+        let seq = run_sequential(&app);
+        let cfg = PlatformConfig {
+            kernel: KernelConfig { checkpoint_interval: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let res = run_platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
+        assert_eq!(res.states, seq.states);
+    }
+
+    #[test]
+    fn bounded_window_matches_sequential_and_throttles_rollbacks() {
+        let app = Ring { n: 12, hops: 60 };
+        let seq = run_sequential(&app);
+        let free = run_platform(&app, &round_robin(12, 4), 4, &PlatformConfig::default())
+            .unwrap();
+        let cfg = PlatformConfig {
+            kernel: KernelConfig {
+                window: Some(3),
+                gvt_period: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let tight = run_platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
+        assert_eq!(tight.states, seq.states, "throttling must not change results");
+        assert!(
+            tight.stats.rollbacks() <= free.stats.rollbacks(),
+            "window {} rollbacks vs free {}",
+            tight.stats.rollbacks(),
+            free.stats.rollbacks()
+        );
+        assert!(tight.stats.gvt_rounds >= free.stats.gvt_rounds);
+    }
+
+    #[test]
+    fn zero_window_is_fully_conservative() {
+        // window = 0: only events at exactly GVT may run — lock-step,
+        // rollback-free execution.
+        let app = Ring { n: 10, hops: 40 };
+        let seq = run_sequential(&app);
+        let cfg = PlatformConfig {
+            kernel: KernelConfig { window: Some(0), gvt_period: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let res = run_platform(&app, &round_robin(10, 4), 4, &cfg).unwrap();
+        assert_eq!(res.states, seq.states);
+        assert_eq!(res.stats.rollbacks(), 0, "zero window admits no stragglers");
+    }
+
+    #[test]
+    fn nodes_without_lps_are_harmless() {
+        // Partitioners can leave nodes empty on tiny inputs; the platform
+        // must still terminate and produce the same history.
+        let app = Ring { n: 6, hops: 20 };
+        let seq = run_sequential(&app);
+        let assignment: Vec<u32> = (0..6).map(|_| 0).collect(); // all on node 0 of 4
+        let res = run_platform(&app, &assignment, 4, &PlatformConfig::default()).unwrap();
+        assert_eq!(res.states, seq.states);
+        assert_eq!(res.stats.app_messages, 0);
+        assert_eq!(res.node_clocks_ns[1], 0, "empty nodes never advance");
+    }
+
+    #[test]
+    fn memory_limit_triggers_oom() {
+        let app = Ring { n: 16, hops: 200 };
+        let cfg = PlatformConfig {
+            state_limit_per_node: Some(1), // absurdly small: must die
+            kernel: KernelConfig { gvt_period: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let err = run_platform(&app, &round_robin(16, 4), 4, &cfg).unwrap_err();
+        assert!(matches!(err, PlatformError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn exec_time_scales_down_with_nodes_for_parallel_work() {
+        // Embarrassingly parallel: disjoint token rings per node.
+        struct Pairs {
+            n: usize,
+        }
+        impl Application for Pairs {
+            type Msg = u64;
+            type State = u64;
+            fn num_lps(&self) -> usize {
+                self.n
+            }
+            fn init_state(&self, _lp: LpId) -> u64 {
+                0
+            }
+            fn init_events(&self, lp: LpId, _s: &mut u64, sink: &mut EventSink<u64>) {
+                sink.schedule_at(lp, VTime(1), 100);
+            }
+            fn execute(
+                &self,
+                lp: LpId,
+                state: &mut u64,
+                _now: VTime,
+                msgs: &[(LpId, u64)],
+                sink: &mut EventSink<u64>,
+            ) {
+                for &(_, k) in msgs {
+                    *state += 1;
+                    if k > 0 {
+                        sink.schedule(lp, 2, k - 1); // self-loop: zero communication
+                    }
+                }
+            }
+        }
+        let app = Pairs { n: 8 };
+        let t1 = run_platform(&app, &round_robin(8, 1), 1, &PlatformConfig::default())
+            .unwrap()
+            .exec_time_s;
+        let t4 = run_platform(&app, &round_robin(8, 4), 4, &PlatformConfig::default())
+            .unwrap()
+            .exec_time_s;
+        assert!(t4 < t1 / 2.5, "4 nodes should cut independent work ~4x: {t1} vs {t4}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Simulation statistics — the quantities the paper's Figures 4–6 plot.
+
+use crate::time::VTime;
+
+/// Per-LP counters, for locating rollback and load hotspots (the paper's
+/// framework reported aggregate numbers; per-LP breakdowns are what one
+/// actually debugs a bad partition with).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpCounters {
+    /// Events this LP processed (including rolled-back work).
+    pub events_processed: u64,
+    /// Rollbacks this LP suffered (primary + secondary).
+    pub rollbacks: u64,
+    /// Events undone on this LP.
+    pub events_rolled_back: u64,
+}
+
+/// Counters collected by every executive. All counts are totals across
+/// LPs unless noted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Event batches executed (including ones later rolled back).
+    pub batches_executed: u64,
+    /// Individual events processed (including ones later rolled back).
+    pub events_processed: u64,
+    /// Events that were processed and later un-processed by a rollback
+    /// (wasted optimistic work).
+    pub events_rolled_back: u64,
+    /// Events committed (fossil-collected below GVT or remaining at a
+    /// clean termination).
+    pub events_committed: u64,
+    /// Rollbacks caused by a straggler positive event.
+    pub primary_rollbacks: u64,
+    /// Rollbacks caused by an anti-message (cancellation chasing).
+    pub secondary_rollbacks: u64,
+    /// Anti-messages sent.
+    pub antis_sent: u64,
+    /// Positive events annihilated by anti-messages before execution.
+    pub annihilated_pending: u64,
+    /// Positive application events that crossed cluster/node boundaries —
+    /// the "Number of Application Messages" of the paper's Figure 5.
+    pub app_messages: u64,
+    /// Anti-messages that crossed cluster/node boundaries.
+    pub anti_messages_remote: u64,
+    /// State checkpoints written.
+    pub states_saved: u64,
+    /// Events re-executed silently during coast-forward (rollback repair
+    /// between sparse checkpoints).
+    pub events_coasted: u64,
+    /// GVT computation rounds.
+    pub gvt_rounds: u64,
+    /// Final GVT (== [`VTime::INF`] on clean termination).
+    pub final_gvt: VTime,
+    /// High-water mark of total saved states held at once (memory proxy;
+    /// the paper's s15850 2-node runs died on this).
+    pub state_queue_high_water: u64,
+}
+
+impl KernelStats {
+    /// Total rollbacks (primary + secondary) — the paper's Figure 6 metric.
+    pub fn rollbacks(&self) -> u64 {
+        self.primary_rollbacks + self.secondary_rollbacks
+    }
+
+    /// Efficiency: committed / processed events (1.0 = no wasted work).
+    pub fn efficiency(&self) -> f64 {
+        if self.events_processed == 0 {
+            1.0
+        } else {
+            self.events_committed as f64 / self.events_processed as f64
+        }
+    }
+
+    /// Merge counters from another instance (used to aggregate per-cluster
+    /// stats; `final_gvt` takes the max, high-water the sum).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.batches_executed += other.batches_executed;
+        self.events_processed += other.events_processed;
+        self.events_rolled_back += other.events_rolled_back;
+        self.events_committed += other.events_committed;
+        self.primary_rollbacks += other.primary_rollbacks;
+        self.secondary_rollbacks += other.secondary_rollbacks;
+        self.antis_sent += other.antis_sent;
+        self.annihilated_pending += other.annihilated_pending;
+        self.app_messages += other.app_messages;
+        self.anti_messages_remote += other.anti_messages_remote;
+        self.states_saved += other.states_saved;
+        self.events_coasted += other.events_coasted;
+        self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);
+        self.final_gvt = self.final_gvt.max(other.final_gvt);
+        self.state_queue_high_water += other.state_queue_high_water;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollbacks_sum_primary_and_secondary() {
+        let s = KernelStats { primary_rollbacks: 3, secondary_rollbacks: 2, ..Default::default() };
+        assert_eq!(s.rollbacks(), 5);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let s = KernelStats::default();
+        assert_eq!(s.efficiency(), 1.0);
+        let s = KernelStats {
+            events_processed: 10,
+            events_committed: 7,
+            ..Default::default()
+        };
+        assert!((s.efficiency() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = KernelStats { events_processed: 5, app_messages: 2, ..Default::default() };
+        let b = KernelStats {
+            events_processed: 7,
+            app_messages: 1,
+            final_gvt: VTime::INF,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.events_processed, 12);
+        assert_eq!(a.app_messages, 3);
+        assert_eq!(a.final_gvt, VTime::INF);
+    }
+}

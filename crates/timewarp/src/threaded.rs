@@ -1,0 +1,473 @@
+//! Threaded executive: one OS thread per WARPED "cluster", real
+//! concurrency, crossbeam channels between clusters, and a synchronized
+//! (flush-and-barrier) GVT in the style of Samadi's algorithm — the
+//! acknowledgment phase is replaced by a cooperative flush, which is exact
+//! on reliable in-process channels.
+//!
+//! This executive exists for machines with real parallel hardware; the
+//! experiment harness uses the deterministic [`crate::platform`] executive
+//! instead (measured wall-clock on an arbitrary CI box is noise, and the
+//! build machine for this reproduction has a single core).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::app::Application;
+use crate::config::KernelConfig;
+use crate::event::{LpId, Transmission};
+use crate::lp::LpRuntime;
+use crate::stats::KernelStats;
+use crate::time::VTime;
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedResult<A: Application> {
+    /// Merged statistics from all clusters.
+    pub stats: KernelStats,
+    /// Final state of every LP (id order).
+    pub states: Vec<A::State>,
+    /// Wall-clock duration of the parallel section.
+    pub wall: std::time::Duration,
+}
+
+/// What one cluster thread returns: its id, its statistics, and the final
+/// states of its LPs.
+type ClusterOutcome<A> = (usize, KernelStats, Vec<(LpId, <A as Application>::State)>);
+
+/// Shared GVT coordination state.
+struct GvtShared {
+    requested: AtomicBool,
+    barrier: Barrier,
+    /// Per-cluster local minima (`u64::MAX` = ∞), written in phase 3.
+    local_mins: Vec<AtomicU64>,
+    /// Messages routed during the current flush round, summed across
+    /// clusters; the flush repeats until a round routes nothing.
+    routed_this_round: AtomicU64,
+    /// The agreed GVT of the current round.
+    gvt: AtomicU64,
+}
+
+/// Run `app` on `clusters` OS threads with the given LP→cluster
+/// assignment. Blocks until the simulation terminates (GVT = ∞).
+pub fn run_threaded<A: Application>(
+    app: &A,
+    assignment: &[u32],
+    clusters: usize,
+    cfg: &KernelConfig,
+) -> ThreadedResult<A> {
+    assert_eq!(assignment.len(), app.num_lps());
+    assert!(clusters >= 1);
+    assert!(assignment.iter().all(|&c| (c as usize) < clusters));
+    let cfg = cfg.normalized();
+
+    // Channels: one receiver per cluster, senders shared by everyone.
+    let mut senders: Vec<Sender<Transmission<A::Msg>>> = Vec::with_capacity(clusters);
+    let mut receivers: Vec<Receiver<Transmission<A::Msg>>> = Vec::with_capacity(clusters);
+    for _ in 0..clusters {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let shared = GvtShared {
+        requested: AtomicBool::new(false),
+        barrier: Barrier::new(clusters),
+        local_mins: (0..clusters).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        routed_this_round: AtomicU64::new(0),
+        gvt: AtomicU64::new(0),
+    };
+
+    // Build LPs and seed init events through the channels so every cluster
+    // starts with its inbox populated.
+    let mut init_events = Vec::new();
+    let lps: Vec<LpRuntime<A>> = (0..app.num_lps() as LpId)
+        .map(|i| LpRuntime::new(app, i, cfg, &mut init_events))
+        .collect();
+    for ev in init_events {
+        let c = assignment[ev.dst as usize] as usize;
+        senders[c].send(Transmission::Positive(ev)).expect("receiver alive");
+    }
+    let mut per_cluster_lps: Vec<Vec<(LpId, LpRuntime<A>)>> =
+        (0..clusters).map(|_| Vec::new()).collect();
+    for (i, lp) in lps.into_iter().enumerate() {
+        per_cluster_lps[assignment[i] as usize].push((i as LpId, lp));
+    }
+
+    let started = std::time::Instant::now();
+    let mut joined: Vec<ClusterOutcome<A>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clusters);
+        for (cid, lps) in per_cluster_lps.into_iter().enumerate() {
+            let senders = senders.clone();
+            let rx = receivers[cid].clone();
+            let shared = &shared;
+            let assignment = &assignment;
+            let cfg = &cfg;
+            handles.push(scope.spawn(move || {
+                cluster_main(app, cid, lps, senders, rx, shared, assignment, cfg)
+            }));
+        }
+        for h in handles {
+            joined.push(h.join().expect("cluster thread panicked"));
+        }
+    });
+    let wall = started.elapsed();
+
+    let mut stats = KernelStats::default();
+    let mut states: Vec<Option<A::State>> = (0..app.num_lps()).map(|_| None).collect();
+    for (_cid, s, lp_states) in joined {
+        stats.merge(&s);
+        for (id, st) in lp_states {
+            states[id as usize] = Some(st);
+        }
+    }
+    stats.final_gvt = VTime::INF;
+    ThreadedResult {
+        stats,
+        states: states.into_iter().map(|s| s.expect("every LP reported")).collect(),
+        wall,
+    }
+}
+
+/// Route everything in `outbox`: local → direct insert (cascading
+/// by-products handled), remote → channel. Returns transmissions routed.
+fn route<A: Application>(
+    cid: usize,
+    outbox: &mut Vec<Transmission<A::Msg>>,
+    table: &mut std::collections::HashMap<LpId, LpRuntime<A>>,
+    senders: &[Sender<Transmission<A::Msg>>],
+    assignment: &[u32],
+    app: &A,
+    stats: &mut KernelStats,
+) -> u64 {
+    let mut routed = 0;
+    while let Some(tx) = outbox.pop() {
+        let dst = tx.dst();
+        let dc = assignment[dst as usize] as usize;
+        if dc == cid {
+            let lp = table.get_mut(&dst).expect("local LP");
+            let mut sub = Vec::new();
+            lp.receive(app, tx, stats, &mut sub);
+            outbox.append(&mut sub);
+        } else {
+            if tx.is_positive() {
+                stats.app_messages += 1;
+            } else {
+                stats.anti_messages_remote += 1;
+            }
+            routed += 1;
+            senders[dc].send(tx).expect("cluster receiver alive");
+        }
+    }
+    routed
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cluster_main<A: Application>(
+    app: &A,
+    cid: usize,
+    lps: Vec<(LpId, LpRuntime<A>)>,
+    senders: Vec<Sender<Transmission<A::Msg>>>,
+    rx: Receiver<Transmission<A::Msg>>,
+    shared: &GvtShared,
+    assignment: &[u32],
+    cfg: &KernelConfig,
+) -> ClusterOutcome<A> {
+    let mut stats = KernelStats::default();
+    let mut outbox: Vec<Transmission<A::Msg>> = Vec::new();
+
+    let mut table: std::collections::HashMap<LpId, LpRuntime<A>> = lps.into_iter().collect();
+    let local_ids: Vec<LpId> = {
+        let mut v: Vec<LpId> = table.keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+
+    let mut batches_since_gvt = 0u64;
+    let mut idle_rounds = 0u32;
+
+    loop {
+        // 1. Drain the inbox.
+        while let Ok(tx) = rx.try_recv() {
+            let dst = tx.dst();
+            debug_assert_eq!(assignment[dst as usize] as usize, cid);
+            let lp = table.get_mut(&dst).expect("local LP");
+            lp.receive(app, tx, &mut stats, &mut outbox);
+            route::<A>(cid, &mut outbox, &mut table, &senders, assignment, app, &mut stats);
+        }
+
+        // 2. GVT round when due locally, when idle, or when any cluster
+        //    requested one.
+        let due = batches_since_gvt >= cfg.gvt_period;
+        let idle = local_ids.iter().all(|id| table[id].next_time().is_inf());
+        if due || idle {
+            shared.requested.store(true, Ordering::Release);
+        }
+        if shared.requested.load(Ordering::Acquire) {
+            batches_since_gvt = 0;
+            let gvt = gvt_round::<A>(
+                cid, &rx, &senders, assignment, app, &mut table, &mut outbox, shared, &mut stats,
+            );
+            stats.gvt_rounds += 1;
+            let held: u64 =
+                local_ids.iter().map(|id| table[id].state_queue_len() as u64).sum();
+            stats.state_queue_high_water = stats.state_queue_high_water.max(held);
+            for id in &local_ids {
+                table.get_mut(id).unwrap().fossil_collect(gvt, &mut stats);
+            }
+            if gvt.is_inf() {
+                break;
+            }
+            if idle {
+                // Back off so an idle cluster doesn't drag the busy ones
+                // into a GVT barrier every loop iteration.
+                idle_rounds = (idle_rounds + 1).min(10);
+                std::thread::sleep(std::time::Duration::from_micros(20 << idle_rounds));
+            } else {
+                idle_rounds = 0;
+            }
+            continue;
+        }
+
+        // 3. Execute the lowest-timestamp local batch — within the
+        //    optimism window, when one is configured (horizon = the GVT
+        //    agreed in the last round + window).
+        let horizon = match cfg.window {
+            Some(w) => VTime(shared.gvt.load(Ordering::Acquire)).after(w),
+            None => VTime::INF,
+        };
+        let best = local_ids
+            .iter()
+            .map(|&id| (table[&id].next_time(), id))
+            .min()
+            .filter(|(t, _)| !t.is_inf());
+        match best {
+            Some((t, id)) if t <= horizon => {
+                let lp = table.get_mut(&id).expect("local LP");
+                lp.execute_next(app, &mut stats, &mut outbox);
+                batches_since_gvt += 1;
+                route::<A>(cid, &mut outbox, &mut table, &senders, assignment, app, &mut stats);
+            }
+            Some(_) => {
+                // Blocked at the window edge: a GVT round advances it.
+                shared.requested.store(true, Ordering::Release);
+            }
+            None => {}
+        }
+    }
+
+    let states: Vec<(LpId, A::State)> = local_ids
+        .into_iter()
+        .map(|id| {
+            let lp = table.remove(&id).expect("local LP");
+            (id, lp.into_state())
+        })
+        .collect();
+    (cid, stats, states)
+}
+
+/// One synchronized GVT round. All clusters call this together (guaranteed
+/// by the `requested` flag being checked every loop iteration). Protocol:
+///
+/// 1. barrier — everyone has stopped normal processing;
+/// 2. repeated flush rounds: drain the inbox and route by-products
+///    (rollback antis can cascade), barrier, until a round routes nothing
+///    anywhere — at that point no message is in flight;
+/// 3. publish local minima, barrier, read the global minimum.
+#[allow(clippy::too_many_arguments)]
+fn gvt_round<A: Application>(
+    cid: usize,
+    rx: &Receiver<Transmission<A::Msg>>,
+    senders: &[Sender<Transmission<A::Msg>>],
+    assignment: &[u32],
+    app: &A,
+    table: &mut std::collections::HashMap<LpId, LpRuntime<A>>,
+    outbox: &mut Vec<Transmission<A::Msg>>,
+    shared: &GvtShared,
+    stats: &mut KernelStats,
+) -> VTime {
+    shared.barrier.wait();
+    loop {
+        let mut routed = 0u64;
+        while let Ok(tx) = rx.try_recv() {
+            let dst = tx.dst();
+            let lp = table.get_mut(&dst).expect("local LP");
+            lp.receive(app, tx, stats, outbox);
+            routed += route::<A>(cid, outbox, table, senders, assignment, app, stats);
+        }
+        shared.routed_this_round.fetch_add(routed, Ordering::AcqRel);
+        shared.barrier.wait();
+        let total = shared.routed_this_round.load(Ordering::Acquire);
+        shared.barrier.wait(); // everyone has read `total`
+        if cid == 0 {
+            shared.routed_this_round.store(0, Ordering::Release);
+        }
+        shared.barrier.wait(); // reset visible before the next round
+        if total == 0 {
+            break;
+        }
+    }
+
+    // Publish local minimum.
+    let local_min = table.values().map(|lp| lp.local_min()).min().unwrap_or(VTime::INF);
+    shared.local_mins[cid].store(local_min.0, Ordering::Release);
+    shared.barrier.wait();
+    if cid == 0 {
+        let gvt = shared
+            .local_mins
+            .iter()
+            .map(|m| m.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX);
+        shared.gvt.store(gvt, Ordering::Release);
+        shared.requested.store(false, Ordering::Release);
+    }
+    shared.barrier.wait();
+    VTime(shared.gvt.load(Ordering::Acquire))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EventSink;
+    use crate::sequential::run_sequential;
+
+    /// The same jittered token ring used by the platform tests.
+    struct Ring {
+        n: usize,
+        hops: u64,
+    }
+    impl Application for Ring {
+        type Msg = u64;
+        type State = u64;
+
+        fn num_lps(&self) -> usize {
+            self.n
+        }
+        fn init_state(&self, _lp: LpId) -> u64 {
+            0
+        }
+        fn init_events(&self, lp: LpId, _s: &mut u64, sink: &mut EventSink<u64>) {
+            sink.schedule_at(lp, VTime(1 + (lp as u64 % 3)), self.hops);
+        }
+        fn execute(
+            &self,
+            lp: LpId,
+            state: &mut u64,
+            _now: VTime,
+            msgs: &[(LpId, u64)],
+            sink: &mut EventSink<u64>,
+        ) {
+            for &(_, hops) in msgs {
+                *state += 1;
+                if hops > 0 {
+                    let delay = 1 + (lp as u64 * 7 + hops) % 5;
+                    sink.schedule((lp + 1) % self.n as u32, delay, hops - 1);
+                }
+            }
+        }
+    }
+
+    fn round_robin(n: usize, c: usize) -> Vec<u32> {
+        (0..n).map(|i| (i % c) as u32).collect()
+    }
+
+    #[test]
+    fn single_cluster_matches_sequential() {
+        let app = Ring { n: 8, hops: 30 };
+        let seq = run_sequential(&app);
+        let res = run_threaded(&app, &round_robin(8, 1), 1, &KernelConfig::default());
+        assert_eq!(res.states, seq.states);
+        assert_eq!(res.stats.events_committed, seq.stats.events_processed);
+    }
+
+    #[test]
+    fn two_clusters_match_sequential() {
+        let app = Ring { n: 8, hops: 30 };
+        let seq = run_sequential(&app);
+        let res = run_threaded(&app, &round_robin(8, 2), 2, &KernelConfig::default());
+        assert_eq!(res.states, seq.states, "threaded must commit the same history");
+    }
+
+    #[test]
+    fn four_clusters_match_sequential_repeatedly() {
+        // Thread interleavings differ run to run; the committed result
+        // must not. A handful of repetitions catches gross races.
+        let app = Ring { n: 12, hops: 40 };
+        let seq = run_sequential(&app);
+        for _ in 0..5 {
+            let res = run_threaded(&app, &round_robin(12, 4), 4, &KernelConfig::default());
+            assert_eq!(res.states, seq.states);
+        }
+    }
+
+    #[test]
+    fn lazy_cancellation_matches_sequential() {
+        let app = Ring { n: 8, hops: 30 };
+        let seq = run_sequential(&app);
+        let cfg = KernelConfig {
+            cancellation: crate::config::Cancellation::Lazy,
+            gvt_period: 16,
+            ..Default::default()
+        };
+        let res = run_threaded(&app, &round_robin(8, 2), 2, &cfg);
+        assert_eq!(res.states, seq.states);
+    }
+
+    #[test]
+    fn small_gvt_period_still_terminates() {
+        let app = Ring { n: 6, hops: 10 };
+        let cfg = KernelConfig { gvt_period: 1, ..Default::default() };
+        let res = run_threaded(&app, &round_robin(6, 3), 3, &cfg);
+        assert!(res.stats.gvt_rounds >= 1);
+        assert_eq!(res.stats.final_gvt, VTime::INF);
+    }
+
+    #[test]
+    fn windowed_threaded_matches_sequential() {
+        let app = Ring { n: 10, hops: 30 };
+        let seq = run_sequential(&app);
+        let cfg = KernelConfig { window: Some(4), gvt_period: 8, ..Default::default() };
+        let res = run_threaded(&app, &round_robin(10, 3), 3, &cfg);
+        assert_eq!(res.states, seq.states);
+    }
+
+    #[test]
+    fn clusters_without_lps_terminate() {
+        // An empty cluster has nothing to do but must still participate in
+        // GVT rounds and exit — a deadlock here would hang the whole run.
+        let app = Ring { n: 6, hops: 15 };
+        let seq = run_sequential(&app);
+        let assignment: Vec<u32> = (0..6).map(|_| 0).collect(); // cluster 1 of 2 empty
+        let res = run_threaded(&app, &assignment, 2, &KernelConfig::default());
+        assert_eq!(res.states, seq.states);
+    }
+
+    #[test]
+    fn empty_application_terminates_quickly() {
+        struct Idle;
+        impl Application for Idle {
+            type Msg = ();
+            type State = ();
+            fn num_lps(&self) -> usize {
+                4
+            }
+            fn init_state(&self, _lp: LpId) {}
+            fn init_events(&self, _lp: LpId, _s: &mut (), _sink: &mut EventSink<()>) {}
+            fn execute(
+                &self,
+                _lp: LpId,
+                _s: &mut (),
+                _now: VTime,
+                _m: &[(LpId, ())],
+                _sink: &mut EventSink<()>,
+            ) {
+            }
+        }
+        let res = run_threaded(&Idle, &round_robin(4, 2), 2, &KernelConfig::default());
+        assert_eq!(res.stats.events_processed, 0);
+    }
+}

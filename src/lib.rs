@@ -1,0 +1,68 @@
+//! # parlogsim — Multilevel Partitioning for Parallel Logic Simulation
+//!
+//! A full-stack Rust reproduction of *"Study of a Multilevel Approach to
+//! Partitioning for Parallel Logic Simulation"* (S. Subramanian, D. M.
+//! Rao, P. A. Wilsey — IPPS 2000): an optimistic (Time Warp) parallel
+//! gate-level logic simulator plus the six circuit partitioning strategies
+//! the paper studies, with a benchmark harness that regenerates every
+//! table and figure of its evaluation.
+//!
+//! The stack, bottom up:
+//!
+//! | Crate | Role (paper analog) |
+//! |---|---|
+//! | [`netlist`] | circuit graphs, ISCAS'89 `.bench` I/O, synthetic benchmarks (the elaborated design) |
+//! | [`logic`] | four-valued signal logic, delays, stimulus (TYVIS semantics) |
+//! | [`partition`] | Random / Topological / DFS / Cluster / Cone / **Multilevel** partitioners |
+//! | [`timewarp`] | the Time Warp kernel: sequential, threaded and virtual-platform executives (WARPED) |
+//! | [`gatesim`] | gates as logical processes + the experiment driver (TYVIS glue) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use parlogsim::prelude::*;
+//!
+//! // A synthetic ISCAS'89-class circuit (use `bench_format::parse` for
+//! // real .bench files).
+//! let netlist = IscasSynth::small(200, 42).build();
+//! let graph = CircuitGraph::from_netlist(&netlist);
+//!
+//! // Partition it 4 ways with the paper's multilevel heuristic.
+//! let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+//! let quality = parlogsim::partition::metrics::quality(&graph, &part);
+//! assert!(quality.imbalance < 1.15);
+//!
+//! // Simulate on 4 virtual workstations and compare with sequential.
+//! let cfg = SimConfig { end_time: 120, ..Default::default() };
+//! let seq = run_seq_baseline(&netlist, &cfg);
+//! let par = run_cell_with(&netlist, &graph, &part, "Multilevel", 4, &cfg);
+//! assert_eq!(seq.events, par.events_committed);
+//! ```
+
+pub use pls_gatesim as gatesim;
+pub use pls_logic as logic;
+pub use pls_netlist as netlist;
+pub use pls_partition as partition;
+pub use pls_timewarp as timewarp;
+
+/// The common imports for working with the full stack.
+pub mod prelude {
+    pub use pls_gatesim::{
+        fingerprint, run_cell, run_cell_checked, run_cell_with, run_seq_baseline, GateMsg,
+        GateSim, GateState, RunMetrics, SeqMetrics, SimConfig,
+    };
+    pub use pls_logic::{eval_gate, DelayModel, StimulusConfig, Value};
+    pub use pls_netlist::{
+        bench_format, levelize, CircuitStats, GateId, GateKind, IscasSynth, Netlist,
+        NetlistBuilder,
+    };
+    pub use pls_partition::{
+        all_partitioners, metrics, partitioner_by_name, CircuitGraph, ClusterPartitioner,
+        ConePartitioner, DfsPartitioner, MultilevelPartitioner, Partitioner, Partitioning,
+        RandomPartitioner, TopologicalPartitioner,
+    };
+    pub use pls_timewarp::{
+        run_platform, run_sequential, run_threaded, Application, Cancellation, CostModel,
+        EventSink, KernelConfig, KernelStats, LpId, PlatformConfig, VTime,
+    };
+}

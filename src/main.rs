@@ -1,0 +1,340 @@
+//! `parlogsim` — command-line front end for the parallel logic simulation
+//! stack: inspect circuits, generate synthetic benchmarks, partition,
+//! simulate, and dump waveforms.
+
+use std::process::exit;
+
+use parlogsim::gatesim::{write_vcd, WaveRecorder};
+use parlogsim::prelude::*;
+
+/// `println!` that exits quietly when stdout closes early (`… | head`):
+/// a CLI should end the pipeline, not panic on EPIPE.
+macro_rules! out {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($t)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+/// `print!` variant of [`out!`].
+macro_rules! outp {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        if write!(std::io::stdout(), $($t)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+const USAGE: &str = "\
+parlogsim — multilevel partitioning for parallel logic simulation
+
+USAGE:
+  parlogsim stats     <circuit>                       circuit characteristics (Table 1 row)
+  parlogsim generate  <s5378|s9234|s15850|N> [-o F]   synthetic benchmark to .bench
+  parlogsim partition <circuit> [-k K] [-s STRAT]     partition and report quality
+  parlogsim simulate  <circuit> [-k K] [-s STRAT] [--end T]
+                                                      Time Warp run vs sequential baseline
+  parlogsim vcd       <circuit> [-o F] [--end T]      dump primary-output waveform as VCD
+  parlogsim hotspots  <circuit> [-k K] [-s STRAT] [--end T]
+                                                      per-gate rollback/load hotspots
+  parlogsim dot       <circuit> [-k K] [-s STRAT] [-o F]
+                                                      Graphviz view with partition colours
+
+  <circuit> is a .bench file path, one of the built-in names
+  (s27, c17, s5378, s9234, s15850), or `synth:N` for an N-gate synthetic.
+  STRAT ∈ random|dfs|cluster|topological|multilevel|conepartition (default multilevel).
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        exit(2);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "partition" => cmd_partition(rest),
+        "simulate" => cmd_simulate(rest),
+        "vcd" => cmd_vcd(rest),
+        "hotspots" => cmd_hotspots(rest),
+        "dot" => cmd_dot(rest),
+        "-h" | "--help" | "help" => outp!("{USAGE}"),
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+/// Resolve a circuit argument: file path, built-in name, or `synth:N`.
+fn load_circuit(spec: &str) -> Netlist {
+    match spec {
+        "s27" => return parlogsim::netlist::data::s27(),
+        "c17" => return parlogsim::netlist::data::c17(),
+        "s5378" => return IscasSynth::s5378().build(),
+        "s9234" => return IscasSynth::s9234().build(),
+        "s15850" => return IscasSynth::s15850().build(),
+        _ => {}
+    }
+    if let Some(n) = spec.strip_prefix("synth:") {
+        let gates: usize = n.parse().unwrap_or_else(|_| {
+            eprintln!("bad synth size `{n}`");
+            exit(2);
+        });
+        if gates == 0 {
+            eprintln!("synth size must be >= 1");
+            exit(2);
+        }
+        return IscasSynth::small(gates, 1).build();
+    }
+    let text = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+        eprintln!("cannot read `{spec}`: {e}");
+        exit(1);
+    });
+    let name = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    bench_format::parse(name, &text).unwrap_or_else(|e| {
+        eprintln!("parse error in `{spec}`: {e}");
+        exit(1);
+    })
+}
+
+fn flag<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1)).map(String::as_str)
+}
+
+/// Parse `-k` with a default; reject 0 with a clean error.
+fn k_of(rest: &[String], default: usize) -> usize {
+    let k = flag(rest, "-k").and_then(|v| v.parse().ok()).unwrap_or(default);
+    if k == 0 {
+        eprintln!("-k must be >= 1");
+        exit(2);
+    }
+    k
+}
+
+fn required_circuit(rest: &[String]) -> Netlist {
+    // First positional argument, skipping flags *and their values* so
+    // `partition -k 4 s27` does not read "4" as the circuit.
+    let mut i = 0;
+    let mut spec: Option<&String> = None;
+    while i < rest.len() {
+        let a = &rest[i];
+        if matches!(a.as_str(), "-k" | "-s" | "-o" | "--end") {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with('-') {
+            spec = Some(a);
+            break;
+        }
+        i += 1;
+    }
+    let Some(spec) = spec else {
+        eprintln!("missing circuit argument\n");
+        eprint!("{USAGE}");
+        exit(2);
+    };
+    load_circuit(spec)
+}
+
+fn strategy_of(rest: &[String]) -> Box<dyn Partitioner + Send + Sync> {
+    let name = flag(rest, "-s").unwrap_or("multilevel");
+    partitioner_by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown strategy `{name}`");
+        exit(2);
+    })
+}
+
+fn cmd_stats(rest: &[String]) {
+    let netlist = required_circuit(rest);
+    let s = CircuitStats::of(&netlist);
+    out!("circuit:    {}", s.name);
+    out!("inputs:     {}", s.inputs);
+    out!("gates:      {}", s.gates);
+    out!("outputs:    {}", s.outputs);
+    out!("flip-flops: {}", s.dffs);
+    out!("edges:      {}", s.edges);
+    out!("depth:      {}", s.depth);
+    out!("avg fanout: {:.2}", s.avg_fanout);
+    out!("max fanout: {}", s.max_fanout);
+    out!("avg fanin:  {:.2}", s.avg_fanin);
+    out!("gate mix:");
+    for (kind, count) in &s.kind_histogram {
+        if *count > 0 {
+            out!("  {:<6} {}", kind.bench_name(), count);
+        }
+    }
+}
+
+fn cmd_generate(rest: &[String]) {
+    let Some(spec) = rest.iter().find(|a| !a.starts_with('-')) else {
+        eprintln!("generate needs a profile (s5378|s9234|s15850|N)");
+        exit(2);
+    };
+    let synth = match spec.as_str() {
+        "s5378" => IscasSynth::s5378(),
+        "s9234" => IscasSynth::s9234(),
+        "s15850" => IscasSynth::s15850(),
+        n => match n.parse::<usize>() {
+            Ok(gates) if gates >= 1 => IscasSynth::small(gates, 1),
+            _ => {
+                eprintln!("bad profile `{n}` (need s5378|s9234|s15850 or a gate count >= 1)");
+                exit(2);
+            }
+        },
+    };
+    let netlist = synth.build();
+    let text = bench_format::write(&netlist);
+    match flag(rest, "-o") {
+        Some(path) => {
+            std::fs::write(path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write `{path}`: {e}");
+                exit(1);
+            });
+            eprintln!("wrote {} ({} gates) to {path}", netlist.name(), netlist.len());
+        }
+        None => outp!("{text}"),
+    }
+}
+
+fn cmd_partition(rest: &[String]) {
+    let netlist = required_circuit(rest);
+    let k = k_of(rest, 8);
+    let strategy = strategy_of(rest);
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let t0 = std::time::Instant::now();
+    let part = strategy.partition(&graph, k, 0);
+    let took = t0.elapsed();
+    let q = metrics::quality(&graph, &part);
+    out!("{} / {} into {k} partitions ({took:?})", netlist.name(), strategy.name());
+    out!("edge cut:    {}", q.edge_cut);
+    out!("imbalance:   {:.3}", q.imbalance);
+    if let Some(c) = q.concurrency {
+        out!("concurrency: {c:.2}");
+    }
+    out!("sizes:       {:?}", part.sizes());
+}
+
+fn cmd_simulate(rest: &[String]) {
+    let netlist = required_circuit(rest);
+    let k = k_of(rest, 8);
+    let end: u64 = flag(rest, "--end").and_then(|v| v.parse().ok()).unwrap_or(400);
+    let strategy = strategy_of(rest);
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let cfg = SimConfig { end_time: end, ..Default::default() };
+    let seq = run_seq_baseline(&netlist, &cfg);
+    out!(
+        "sequential: {} events, {:.3} modeled s",
+        seq.events, seq.exec_time_s
+    );
+    let m = run_cell(&netlist, &graph, strategy.as_ref(), k, 0, &cfg);
+    if m.out_of_memory {
+        out!("{} on {k} nodes: OUT OF MEMORY", m.strategy);
+        exit(1);
+    }
+    out!(
+        "{} on {k} nodes: {:.3} modeled s ({:.2}x), {} messages, {} rollbacks, efficiency {:.0}%",
+        m.strategy,
+        m.exec_time_s,
+        seq.exec_time_s / m.exec_time_s,
+        m.app_messages,
+        m.rollbacks,
+        100.0 * m.events_committed as f64 / m.events_processed as f64
+    );
+}
+
+fn cmd_hotspots(rest: &[String]) {
+    let netlist = required_circuit(rest);
+    let k = k_of(rest, 8);
+    let end: u64 = flag(rest, "--end").and_then(|v| v.parse().ok()).unwrap_or(400);
+    let strategy = strategy_of(rest);
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let part = strategy.partition(&graph, k, 0);
+    let cfg = SimConfig { end_time: end, ..Default::default() };
+    let app = cfg.build_app(&netlist);
+    let res = run_platform(&app, &part.assignment, k, &cfg.platform)
+        .unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            exit(1);
+        });
+    out!(
+        "{} / {} on {k} nodes: {} rollbacks total; top offenders:",
+        netlist.name(),
+        strategy.name(),
+        res.stats.rollbacks()
+    );
+    let mut by_rollbacks: Vec<(u32, parlogsim::timewarp::LpCounters)> = res
+        .lp_stats
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as u32, c))
+        .collect();
+    by_rollbacks.sort_by_key(|&(_, c)| std::cmp::Reverse((c.rollbacks, c.events_rolled_back)));
+    out!(
+        "{:<16} {:<6} {:>4} {:>10} {:>8} {:>8}",
+        "gate", "kind", "part", "rollbacks", "undone", "events"
+    );
+    for (lp, c) in by_rollbacks.iter().take(15) {
+        if c.rollbacks == 0 {
+            break;
+        }
+        let g = netlist.gate(*lp);
+        out!(
+            "{:<16} {:<6} {:>4} {:>10} {:>8} {:>8}",
+            g.name,
+            g.kind.bench_name(),
+            part.part(*lp),
+            c.rollbacks,
+            c.events_rolled_back,
+            c.events_processed
+        );
+    }
+}
+
+fn cmd_dot(rest: &[String]) {
+    let netlist = required_circuit(rest);
+    let k = k_of(rest, 4);
+    let strategy = strategy_of(rest);
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let part = strategy.partition(&graph, k, 0);
+    let names: Vec<String> = netlist.gates().iter().map(|g| g.name.clone()).collect();
+    let dot = parlogsim::partition::to_dot(&graph, Some(&part), Some(&names));
+    match flag(rest, "-o") {
+        Some(path) => {
+            std::fs::write(path, dot).unwrap_or_else(|e| {
+                eprintln!("cannot write `{path}`: {e}");
+                exit(1);
+            });
+            eprintln!("wrote DOT for {} ({} gates) to {path}", netlist.name(), netlist.len());
+        }
+        None => outp!("{dot}"),
+    }
+}
+
+fn cmd_vcd(rest: &[String]) {
+    let netlist = required_circuit(rest);
+    let end: u64 = flag(rest, "--end").and_then(|v| v.parse().ok()).unwrap_or(400);
+    let cfg = SimConfig { end_time: end, ..Default::default() };
+    let app = cfg.build_app(&netlist);
+    let wave = WaveRecorder::new(app).record();
+    let vcd = write_vcd(&netlist, &wave, netlist.outputs(), "1ns");
+    match flag(rest, "-o") {
+        Some(path) => {
+            std::fs::write(path, vcd).unwrap_or_else(|e| {
+                eprintln!("cannot write `{path}`: {e}");
+                exit(1);
+            });
+            eprintln!("wrote waveform of {} outputs to {path}", netlist.outputs().len());
+        }
+        None => outp!("{vcd}"),
+    }
+}

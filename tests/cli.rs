@@ -1,0 +1,103 @@
+//! Integration tests for the `parlogsim` command-line binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parlogsim"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "`parlogsim {}` failed:\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stats_on_builtin_circuit() {
+    let out = run_ok(&["stats", "s27"]);
+    assert!(out.contains("inputs:     4"));
+    assert!(out.contains("flip-flops: 3"));
+}
+
+#[test]
+fn generate_parse_simulate_round_trip() {
+    let dir = std::env::temp_dir().join("parlogsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("synth200.bench");
+    let p = path.to_str().unwrap();
+
+    run_ok(&["generate", "200", "-o", p]);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("INPUT("));
+
+    let stats = run_ok(&["stats", p]);
+    assert!(stats.contains("gates:      200"), "{stats}");
+
+    let sim = run_ok(&["simulate", p, "-k", "4", "--end", "100"]);
+    assert!(sim.contains("sequential:"));
+    assert!(sim.contains("Multilevel on 4 nodes:"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn partition_reports_quality_for_every_strategy() {
+    for strategy in ["random", "dfs", "cluster", "topological", "multilevel", "conepartition"] {
+        let out = run_ok(&["partition", "s27", "-k", "2", "-s", strategy]);
+        assert!(out.contains("edge cut:"), "{strategy}: {out}");
+        assert!(out.contains("imbalance:"), "{strategy}: {out}");
+    }
+}
+
+#[test]
+fn partition_rejects_unknown_strategy() {
+    let out = cli().args(["partition", "s27", "-s", "metis"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn vcd_output_is_well_formed() {
+    let out = run_ok(&["vcd", "s27", "--end", "80"]);
+    assert!(out.starts_with("$date"));
+    assert!(out.contains("$enddefinitions $end"));
+    assert!(out.contains("$var wire 1"));
+    assert!(out.lines().any(|l| l.starts_with('#')), "no value changes");
+}
+
+#[test]
+fn simulate_synth_spec() {
+    let out = run_ok(&["simulate", "synth:100", "-k", "2", "--end", "60", "-s", "random"]);
+    assert!(out.contains("Random on 2 nodes:"));
+}
+
+#[test]
+fn hotspots_lists_offenders() {
+    let out = run_ok(&["hotspots", "synth:150", "-k", "4", "--end", "120"]);
+    assert!(out.contains("rollbacks total"));
+    assert!(out.contains("gate"));
+}
+
+#[test]
+fn dot_renders_partitioned_graph() {
+    let out = run_ok(&["dot", "s27", "-k", "2", "-s", "dfs"]);
+    assert!(out.starts_with("digraph"));
+    assert!(out.contains("fillcolor"));
+    assert!(out.contains("->"));
+}

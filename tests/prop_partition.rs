@@ -1,0 +1,140 @@
+//! Property-based tests over the partitioning stack: every strategy, on
+//! arbitrary synthetic circuits, must produce structurally valid,
+//! reasonably balanced partitions; refinement must never increase the
+//! cut; the multilevel invariants of the paper's §3 must hold for every
+//! input.
+
+use proptest::prelude::*;
+
+use parlogsim::partition::multilevel::coarsen::{coarsen, CoarsenConfig};
+use parlogsim::partition::multilevel::refine::{greedy_refine, GreedyConfig};
+use parlogsim::prelude::*;
+
+/// Strategy: a random small circuit (by size and seed) plus a k.
+fn circuit_and_k() -> impl Strategy<Value = (CircuitGraph, usize)> {
+    (30usize..400, 0u64..1000, 2usize..9).prop_map(|(gates, seed, k)| {
+        let netlist = IscasSynth::small(gates, seed).build();
+        (CircuitGraph::from_netlist(&netlist), k)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_strategy_yields_valid_partitions((g, k) in circuit_and_k()) {
+        for strategy in all_partitioners() {
+            let p = strategy.partition(&g, k, 7);
+            prop_assert!(p.is_valid_for(&g), "{} invalid", strategy.name());
+            prop_assert_eq!(p.k, k);
+            // No empty partitions on circuits with >= 4k gates.
+            if g.len() >= 4 * k {
+                prop_assert!(
+                    p.sizes().iter().all(|&s| s > 0),
+                    "{} produced an empty partition", strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_strategies_respect_balance((g, k) in circuit_and_k()) {
+        // Random and Multilevel both advertise load balance.
+        let slack = 1.0 + 16.0 / (g.len() as f64 / k as f64); // integer rounding allowance
+        let p = RandomPartitioner.partition(&g, k, 3);
+        prop_assert!(metrics::imbalance(&g, &p) <= slack.max(1.05));
+        let p = MultilevelPartitioner::default().partition(&g, k, 3);
+        prop_assert!(metrics::imbalance(&g, &p) <= slack.max(1.06),
+            "multilevel imbalance {}", metrics::imbalance(&g, &p));
+    }
+
+    #[test]
+    fn greedy_refinement_never_increases_cut((g, k) in circuit_and_k(), seed in 0u64..50) {
+        let mut p = RandomPartitioner.partition(&g, k, seed);
+        let before = metrics::edge_cut(&g, &p);
+        let stats = greedy_refine(&g, &mut p, &GreedyConfig::default(), seed);
+        prop_assert!(stats.cut_after <= before);
+        prop_assert_eq!(stats.cut_after, metrics::edge_cut(&g, &p));
+        prop_assert!(p.is_valid_for(&g));
+    }
+
+    #[test]
+    fn coarsening_invariants_hold((g, k) in circuit_and_k()) {
+        // Paper §3: globules are disjoint and cover V; total weight is
+        // invariant; input globules never combine; the graph shrinks.
+        let levels = coarsen(&g, &CoarsenConfig::for_k(k));
+        let mut fine = g.clone();
+        for level in &levels {
+            prop_assert_eq!(level.map.len(), fine.len());
+            prop_assert!(level.graph.len() < fine.len());
+            prop_assert_eq!(level.graph.total_weight(), g.total_weight());
+            let mut weight_check = vec![0u64; level.graph.len()];
+            let mut inputs_in = vec![0usize; level.graph.len()];
+            for v in fine.vertices() {
+                let c = level.map[v as usize] as usize;
+                prop_assert!(c < level.graph.len());
+                weight_check[c] += fine.vweight(v);
+                if fine.is_input(v) {
+                    inputs_in[c] += 1;
+                }
+            }
+            for c in level.graph.vertices() {
+                prop_assert_eq!(weight_check[c as usize], level.graph.vweight(c));
+                prop_assert!(inputs_in[c as usize] <= 1, "input globules combined");
+            }
+            fine = level.graph.clone();
+        }
+    }
+
+    #[test]
+    fn projection_preserves_partition_semantics((g, k) in circuit_and_k()) {
+        // ∀ v ∈ V_ij : P[v] = P[V_ij] — projecting a coarse partition must
+        // give every fine vertex its globule's partition.
+        let levels = coarsen(&g, &CoarsenConfig::for_k(k));
+        prop_assume!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().graph;
+        let coarse_p = RandomPartitioner.partition(coarsest, k, 1);
+        // Project down through every level.
+        let mut p = coarse_p.clone();
+        for level in levels.iter().rev() {
+            let finer = p.project(&level.map);
+            for (v, &c) in level.map.iter().enumerate() {
+                prop_assert_eq!(finer.assignment[v], p.assignment[c as usize]);
+            }
+            p = finer;
+        }
+        prop_assert!(p.is_valid_for(&g));
+    }
+
+    #[test]
+    fn cut_metric_is_symmetric_in_relabeling((g, k) in circuit_and_k()) {
+        // Swapping two partition labels cannot change the cut.
+        let p = DfsPartitioner.partition(&g, k, 0);
+        let cut = metrics::edge_cut(&g, &p);
+        let mut swapped = p.clone();
+        for v in g.vertices() {
+            let x = swapped.part(v);
+            let y = match x {
+                0 => 1,
+                1 => 0,
+                other => other,
+            };
+            swapped.set(v, y.min(k as u32 - 1));
+        }
+        if k >= 2 {
+            prop_assert_eq!(metrics::edge_cut(&g, &swapped), cut);
+        }
+    }
+
+    #[test]
+    fn multilevel_cut_never_worse_than_random((g, k) in circuit_and_k()) {
+        let ml = MultilevelPartitioner::default().partition(&g, k, 0);
+        let rnd = RandomPartitioner.partition(&g, k, 0);
+        prop_assert!(
+            metrics::edge_cut(&g, &ml) <= metrics::edge_cut(&g, &rnd),
+            "multilevel {} worse than random {}",
+            metrics::edge_cut(&g, &ml),
+            metrics::edge_cut(&g, &rnd)
+        );
+    }
+}
