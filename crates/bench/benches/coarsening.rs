@@ -4,7 +4,7 @@
 //! pipeline wall time, and a one-shot printout of the final cut and the
 //! simulated concurrency each scheme's partition achieves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pls_bench::bench_case;
 use pls_netlist::IscasSynth;
 use pls_partition::{
     metrics, CircuitGraph, CoarsenScheme, MultilevelConfig, MultilevelPartitioner, Partitioner,
@@ -14,7 +14,7 @@ fn ml(scheme: CoarsenScheme) -> MultilevelPartitioner {
     MultilevelPartitioner { config: MultilevelConfig { scheme, ..Default::default() } }
 }
 
-fn bench_coarsening(c: &mut Criterion) {
+fn main() {
     let netlist = IscasSynth::s9234().build();
     let g = CircuitGraph::from_netlist(&netlist);
 
@@ -30,17 +30,8 @@ fn bench_coarsening(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("multilevel_coarsening_s9234_k8");
-    group.sample_size(15);
-    group.bench_function("fanout", |b| b.iter(|| ml(CoarsenScheme::Fanout).partition(&g, 8, 0)));
-    group.bench_function("heavy_edge", |b| {
-        b.iter(|| ml(CoarsenScheme::HeavyEdge).partition(&g, 8, 0))
-    });
-    group.bench_function("random_matching", |b| {
-        b.iter(|| ml(CoarsenScheme::Random).partition(&g, 8, 0))
-    });
-    group.finish();
+    let group = "multilevel_coarsening_s9234_k8";
+    bench_case(group, "fanout", 15, || ml(CoarsenScheme::Fanout).partition(&g, 8, 0));
+    bench_case(group, "heavy_edge", 15, || ml(CoarsenScheme::HeavyEdge).partition(&g, 8, 0));
+    bench_case(group, "random_matching", 15, || ml(CoarsenScheme::Random).partition(&g, 8, 0));
 }
-
-criterion_group!(benches, bench_coarsening);
-criterion_main!(benches);

@@ -3,53 +3,47 @@
 //! interval sensitivity (WARPED's periodic state saving, one of the design
 //! choices DESIGN.md calls out).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pls_bench::bench_case;
 use pls_gatesim::SimConfig;
 use pls_netlist::IscasSynth;
 use pls_partition::{CircuitGraph, MultilevelPartitioner, Partitioner};
-use pls_timewarp::{run_platform, run_sequential, Cancellation, KernelConfig, PlatformConfig};
+use pls_timewarp::{Backend, Cancellation, KernelConfig, PlatformConfig, Simulator};
 
-fn bench_kernel(c: &mut Criterion) {
+fn main() {
     let netlist = IscasSynth::small(800, 3).build();
     let graph = CircuitGraph::from_netlist(&netlist);
     let cfg = SimConfig { end_time: 150, ..Default::default() };
     let app = cfg.build_app(&netlist);
     let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+    let platform = Backend::Platform { assignment: &part.assignment, nodes: 4 };
 
-    let mut group = c.benchmark_group("kernel");
-    group.sample_size(10);
-
-    group.bench_function("sequential_800g", |b| b.iter(|| run_sequential(&app)));
-
-    group.bench_function("platform4_800g", |b| {
-        b.iter(|| {
-            run_platform(&app, &part.assignment, 4, &PlatformConfig::default()).unwrap()
-        })
+    bench_case("kernel", "sequential_800g", 10, || {
+        Simulator::new(&app).run(Backend::Sequential).unwrap()
     });
 
-    group.bench_function("platform4_800g_lazy", |b| {
+    bench_case("kernel", "platform4_800g", 10, || Simulator::new(&app).run(platform).unwrap());
+
+    bench_case("kernel", "platform4_800g_recorded", 10, || {
+        // Same run with the TimeSeries probe attached: the difference vs
+        // the line above is the telemetry overhead.
+        Simulator::new(&app).record(10).run(platform).unwrap()
+    });
+
+    bench_case("kernel", "platform4_800g_lazy", 10, || {
         let pcfg = PlatformConfig {
             kernel: KernelConfig { cancellation: Cancellation::Lazy, ..Default::default() },
             ..Default::default()
         };
-        b.iter(|| run_platform(&app, &part.assignment, 4, &pcfg).unwrap())
+        Simulator::new(&app).platform_config(&pcfg).run(platform).unwrap()
     });
 
     for interval in [1u32, 4, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("checkpoint_interval", interval),
-            &interval,
-            |b, &iv| {
-                let pcfg = PlatformConfig {
-                    kernel: KernelConfig { checkpoint_interval: iv, ..Default::default() },
-                    ..Default::default()
-                };
-                b.iter(|| run_platform(&app, &part.assignment, 4, &pcfg).unwrap())
-            },
-        );
+        bench_case("kernel", &format!("checkpoint_interval/{interval}"), 10, || {
+            let pcfg = PlatformConfig {
+                kernel: KernelConfig { checkpoint_interval: interval, ..Default::default() },
+                ..Default::default()
+            };
+            Simulator::new(&app).platform_config(&pcfg).run(platform).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernel);
-criterion_main!(benches);

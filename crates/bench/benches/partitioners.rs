@@ -3,11 +3,11 @@
 //! its runtime should scale with circuit size like the trivially-linear
 //! Random partitioner does, across the three paper benchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pls_bench::bench_case;
 use pls_netlist::IscasSynth;
 use pls_partition::{all_partitioners, CircuitGraph, Partitioner};
 
-fn bench_partitioners(c: &mut Criterion) {
+fn main() {
     let circuits: Vec<(String, CircuitGraph)> = IscasSynth::paper_suite()
         .iter()
         .map(|s| {
@@ -16,32 +16,19 @@ fn bench_partitioners(c: &mut Criterion) {
         })
         .collect();
 
-    let mut group = c.benchmark_group("partition_k8");
-    group.sample_size(20);
     for (name, graph) in &circuits {
         for strategy in all_partitioners() {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), name),
-                graph,
-                |b, g| b.iter(|| strategy.partition(g, 8, 0)),
-            );
+            bench_case("partition_k8", &format!("{}/{name}", strategy.name()), 20, || {
+                strategy.partition(graph, 8, 0)
+            });
         }
     }
-    group.finish();
 
     // Linearity probe: multilevel runtime over doubling synthetic sizes.
-    let mut group = c.benchmark_group("multilevel_scaling");
-    group.sample_size(15);
     for gates in [1_000usize, 2_000, 4_000, 8_000] {
         let n = IscasSynth::small(gates, 1).build();
         let g = CircuitGraph::from_netlist(&n);
         let ml = pls_partition::MultilevelPartitioner::default();
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &g, |b, g| {
-            b.iter(|| ml.partition(g, 8, 0))
-        });
+        bench_case("multilevel_scaling", &gates.to_string(), 15, || ml.partition(&g, 8, 0));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partitioners);
-criterion_main!(benches);

@@ -5,18 +5,18 @@
 //! This bench reproduces that comparison: wall time per refiner, and a
 //! one-shot printout of the cut each achieves from the same random start.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pls_bench::bench_case;
 use pls_netlist::IscasSynth;
 use pls_partition::multilevel::refine::{greedy_refine, GreedyConfig};
 use pls_partition::refiners::{fm_refine, kl_refine};
 use pls_partition::{metrics, CircuitGraph, Partitioner, RandomPartitioner};
 
-fn bench_refinement(c: &mut Criterion) {
+fn main() {
     let netlist = IscasSynth::s9234().build();
     let g = CircuitGraph::from_netlist(&netlist);
     let start = RandomPartitioner.partition(&g, 8, 0);
 
-    // Report achieved cut once (Criterion measures time; quality goes to
+    // Report achieved cut once (the timer measures time; quality goes to
     // stderr so `cargo bench` output records both).
     {
         let base = metrics::edge_cut(&g, &start);
@@ -35,31 +35,17 @@ fn bench_refinement(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("refine_s9234_k8");
-    group.sample_size(10);
-    group.bench_function("greedy", |b| {
-        b.iter_batched(
-            || start.clone(),
-            |mut p| greedy_refine(&g, &mut p, &GreedyConfig::default(), 0),
-            criterion::BatchSize::LargeInput,
-        )
+    let group = "refine_s9234_k8";
+    bench_case(group, "greedy", 10, || {
+        let mut p = start.clone();
+        greedy_refine(&g, &mut p, &GreedyConfig::default(), 0)
     });
-    group.bench_function("kl", |b| {
-        b.iter_batched(
-            || start.clone(),
-            |mut p| kl_refine(&g, &mut p, 1, 24),
-            criterion::BatchSize::LargeInput,
-        )
+    bench_case(group, "kl", 10, || {
+        let mut p = start.clone();
+        kl_refine(&g, &mut p, 1, 24)
     });
-    group.bench_function("fm", |b| {
-        b.iter_batched(
-            || start.clone(),
-            |mut p| fm_refine(&g, &mut p, 2, 0.03),
-            criterion::BatchSize::LargeInput,
-        )
+    bench_case(group, "fm", 10, || {
+        let mut p = start.clone();
+        fm_refine(&g, &mut p, 2, 0.03)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_refinement);
-criterion_main!(benches);

@@ -11,14 +11,16 @@ fn main() {
         FIGURE_NODES.iter().map(|_| seq.exec_time_s).collect::<Vec<f64>>(),
     )];
     for s in STRATEGY_ORDER {
-        let vals = FIGURE_NODES
-            .iter()
-            .map(|&n| grid.cell("s9234", s, n).exec_time_s)
-            .collect();
+        let vals = FIGURE_NODES.iter().map(|&n| grid.cell("s9234", s, n).exec_time_s).collect();
         series.push((s.to_string(), vals));
     }
     print!(
         "{}",
-        render_series("Figure 4. s9234 Execution Times", "Execution Time - secs", &FIGURE_NODES, &series)
+        render_series(
+            "Figure 4. s9234 Execution Times",
+            "Execution Time - secs",
+            &FIGURE_NODES,
+            &series
+        )
     );
 }

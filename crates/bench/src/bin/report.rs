@@ -27,10 +27,50 @@ const PAPER_TABLE2: [(&str, f64, PaperRows); 3] = [
         "s9234",
         651.24,
         [
-            (2, [Some(675.07), Some(473.90), Some(417.63), Some(577.14), Some(529.39), Some(701.10)]),
-            (4, [Some(496.30), Some(424.41), Some(322.02), Some(434.85), Some(341.84), Some(502.60)]),
-            (6, [Some(520.80), Some(320.98), Some(373.41), Some(539.59), Some(316.96), Some(414.65)]),
-            (8, [Some(383.32), Some(489.97), Some(415.02), Some(360.90), Some(290.31), Some(351.35)]),
+            (
+                2,
+                [
+                    Some(675.07),
+                    Some(473.90),
+                    Some(417.63),
+                    Some(577.14),
+                    Some(529.39),
+                    Some(701.10),
+                ],
+            ),
+            (
+                4,
+                [
+                    Some(496.30),
+                    Some(424.41),
+                    Some(322.02),
+                    Some(434.85),
+                    Some(341.84),
+                    Some(502.60),
+                ],
+            ),
+            (
+                6,
+                [
+                    Some(520.80),
+                    Some(320.98),
+                    Some(373.41),
+                    Some(539.59),
+                    Some(316.96),
+                    Some(414.65),
+                ],
+            ),
+            (
+                8,
+                [
+                    Some(383.32),
+                    Some(489.97),
+                    Some(415.02),
+                    Some(360.90),
+                    Some(290.31),
+                    Some(351.35),
+                ],
+            ),
         ],
     ),
     (
@@ -38,9 +78,39 @@ const PAPER_TABLE2: [(&str, f64, PaperRows); 3] = [
         2154.21,
         [
             (2, [None, None, None, None, None, None]),
-            (4, [Some(2090.82), Some(1279.19), Some(1317.28), Some(2272.62), Some(1043.43), Some(1832.24)]),
-            (6, [Some(1434.79), Some(906.08), Some(1351.17), Some(1439.99), Some(943.91), Some(1363.40)]),
-            (8, [Some(1407.33), Some(947.64), Some(1215.64), Some(2735.07), Some(864.03), Some(1176.36)]),
+            (
+                4,
+                [
+                    Some(2090.82),
+                    Some(1279.19),
+                    Some(1317.28),
+                    Some(2272.62),
+                    Some(1043.43),
+                    Some(1832.24),
+                ],
+            ),
+            (
+                6,
+                [
+                    Some(1434.79),
+                    Some(906.08),
+                    Some(1351.17),
+                    Some(1439.99),
+                    Some(943.91),
+                    Some(1363.40),
+                ],
+            ),
+            (
+                8,
+                [
+                    Some(1407.33),
+                    Some(947.64),
+                    Some(1215.64),
+                    Some(2735.07),
+                    Some(864.03),
+                    Some(1176.36),
+                ],
+            ),
         ],
     ),
 ];
@@ -51,9 +121,8 @@ fn main() {
     println!("## Table 1 — benchmark characteristics\n");
     println!("| Circuit | Inputs (paper / ours) | Gates (paper / ours) | Outputs (paper / ours) |");
     println!("|---|---|---|---|");
-    for (netlist, (pi, pg, po)) in pls_bench::paper_circuits()
-        .iter()
-        .zip([(35, 2779, 49), (36, 5597, 39), (77, 10383, 150)])
+    for (netlist, (pi, pg, po)) in
+        pls_bench::paper_circuits().iter().zip([(35, 2779, 49), (36, 5597, 39), (77, 10383, 150)])
     {
         let s = CircuitStats::of(netlist);
         println!(

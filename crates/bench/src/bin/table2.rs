@@ -13,7 +13,15 @@ fn main() {
     println!("Table 2. Simulation time (modeled secs) per partitioning algorithm");
     println!(
         "{:<8} {:>9} {:>5} {:>9} {:>9} {:>9} {:>11} {:>10} {:>9}",
-        "Circuit", "SeqTime", "Nodes", "Random", "DFS", "Cluster", "Topological", "Multilevel", "Cone"
+        "Circuit",
+        "SeqTime",
+        "Nodes",
+        "Random",
+        "DFS",
+        "Cluster",
+        "Topological",
+        "Multilevel",
+        "Cone"
     );
     for circuit in ["s5378", "s9234", "s15850"] {
         let seq = grid.sequential(circuit);

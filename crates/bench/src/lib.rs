@@ -12,9 +12,12 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 
-use pls_gatesim::{run_cell, run_seq_baseline, RunMetrics, SeqMetrics, SimConfig};
+use pls_gatesim::{
+    run_cell, run_cell_recorded, run_seq_baseline, RunMetrics, SeqMetrics, SimConfig,
+};
 use pls_netlist::{IscasSynth, Netlist};
 use pls_partition::CircuitGraph;
+use pls_timewarp::TimeSeries;
 
 /// Strategy display order of the paper's Table 2 columns.
 pub const STRATEGY_ORDER: [&str; 6] =
@@ -68,10 +71,9 @@ impl Grid {
     /// Open (or create) the grid with the standard configuration and cache
     /// location `target/experiments/grid.csv`.
     pub fn open() -> Grid {
-        let dir = PathBuf::from(
-            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-        )
-        .join("experiments");
+        let dir =
+            PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+                .join("experiments");
         std::fs::create_dir_all(&dir).expect("create experiments dir");
         let cache_path = dir.join("grid.csv");
         let mut grid = Grid {
@@ -133,6 +135,40 @@ impl Grid {
         self.cells.insert(key, m.clone());
         self.save_cache();
         m
+    }
+
+    /// Re-run one cell with the [`TimeSeries`] probe attached and return
+    /// the per-virtual-time-bucket telemetry alongside the metrics. Not
+    /// cached (the CSV cache holds aggregates only); intended for the
+    /// figure binaries' `--trace` mode, which dumps a handful of series.
+    /// Returns `None` for the series when the run dies out of memory.
+    pub fn trace_cell(
+        &mut self,
+        circuit: &str,
+        strategy: &str,
+        nodes: usize,
+        bucket_width: u64,
+    ) -> (RunMetrics, Option<TimeSeries>) {
+        let ix = self.circuit(circuit);
+        let part = pls_partition::partitioner_by_name(strategy)
+            .unwrap_or_else(|| panic!("unknown strategy `{strategy}`"));
+        let (netlist, graph) = &self.circuits[ix];
+        let partitioning = part.partition(graph, nodes, 0);
+        eprintln!("  tracing {circuit} / {strategy} / {nodes} nodes …");
+        run_cell_recorded(
+            netlist,
+            graph,
+            &partitioning,
+            part.name(),
+            nodes,
+            &self.cfg,
+            Some(bucket_width),
+        )
+    }
+
+    /// Directory the cache (and any trace exports) live in.
+    pub fn experiments_dir(&self) -> PathBuf {
+        self.cache_path.parent().expect("cache has a parent dir").to_path_buf()
     }
 
     /// Run (or load) every cell of the full grid: all circuits × all
@@ -212,6 +248,27 @@ impl Grid {
         f.write_all(text.as_bytes()).expect("write cache");
         std::fs::rename(&tmp, &self.cache_path).expect("replace cache");
     }
+}
+
+/// Minimal micro-benchmark timer for the `cargo bench` binaries (the
+/// offline build has no criterion): a couple of warm-up rounds, then
+/// `samples` timed rounds, reporting min and mean wall time. The result
+/// is passed through [`std::hint::black_box`] so the optimizer cannot
+/// discard the benchmarked work.
+pub fn bench_case<T>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> T) {
+    assert!(samples >= 1);
+    for _ in 0..2 {
+        std::hint::black_box(f());
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    let min = times.iter().min().unwrap();
+    let mean = times.iter().sum::<std::time::Duration>() / samples as u32;
+    println!("{group}/{name}: min {min:?}  mean {mean:?}  ({samples} samples)");
 }
 
 /// Render a simple ASCII series table: one labelled row of values per

@@ -11,7 +11,7 @@
 
 use pls_netlist::Netlist;
 use pls_partition::{CircuitGraph, VertexId};
-use pls_timewarp::run_sequential;
+use pls_timewarp::{Backend, Simulator};
 
 use crate::experiment::SimConfig;
 
@@ -31,11 +31,9 @@ impl ActivityProfile {
         let mut probe_cfg = *cfg;
         probe_cfg.end_time = window;
         let app = probe_cfg.build_app(netlist);
-        let res = run_sequential(&app);
-        ActivityProfile {
-            transitions: res.states.iter().map(|s| s.transitions).collect(),
-            window,
-        }
+        let res =
+            Simulator::new(&app).run(Backend::Sequential).expect("sequential runs cannot fail");
+        ActivityProfile { transitions: res.states.iter().map(|s| s.transitions).collect(), window }
     }
 
     /// Activity of one gate's output signal.
@@ -64,18 +62,12 @@ pub fn activity_weighted_graph(netlist: &Netlist, profile: &ActivityProfile) -> 
         for reader in outs {
             // Multi-pin reads carry the same events once per pin; count
             // the pins into the weight.
-            let pins =
-                netlist.fanin(reader).iter().filter(|&&f| f == id).count() as u64;
+            let pins = netlist.fanin(reader).iter().filter(|&&f| f == id).count() as u64;
             fanout[id as usize].push((reader, w * pins));
         }
     }
     let is_input = netlist.ids().map(|g| netlist.is_input(g)).collect();
-    CircuitGraph::from_parts(
-        format!("{}+activity", netlist.name()),
-        vec![1; n],
-        fanout,
-        is_input,
-    )
+    CircuitGraph::from_parts(format!("{}+activity", netlist.name()), vec![1; n], fanout, is_input)
 }
 
 #[cfg(test)]

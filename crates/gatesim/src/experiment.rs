@@ -6,8 +6,7 @@ use pls_logic::{DelayModel, StimulusConfig};
 use pls_netlist::Netlist;
 use pls_partition::{CircuitGraph, Partitioner, Partitioning};
 use pls_timewarp::{
-    run_platform, run_sequential, platform::sequential_modeled_time_s, PlatformConfig,
-    PlatformError,
+    platform::sequential_modeled_time_s, Backend, PlatformConfig, SimError, Simulator, TimeSeries,
 };
 
 use crate::gatelp::{GateSim, GateState};
@@ -96,13 +95,10 @@ pub fn fingerprint(states: &[GateState]) -> Vec<u64> {
 /// Run the sequential baseline and model its execution time.
 pub fn run_seq_baseline(netlist: &Netlist, cfg: &SimConfig) -> SeqMetrics {
     let app = cfg.build_app(netlist);
-    let res = run_sequential(&app);
+    let res = Simulator::new(&app).run(Backend::Sequential).expect("sequential runs cannot fail");
     SeqMetrics {
         circuit: netlist.name().to_string(),
-        exec_time_s: sequential_modeled_time_s(
-            res.stats.events_processed,
-            &cfg.platform.cost,
-        ),
+        exec_time_s: sequential_modeled_time_s(res.stats.events_processed, &cfg.platform.cost),
         events: res.stats.events_processed,
         fingerprint: fingerprint(&res.states),
     }
@@ -131,36 +127,62 @@ pub fn run_cell_with(
     nodes: usize,
     cfg: &SimConfig,
 ) -> RunMetrics {
+    run_cell_recorded(netlist, graph, partitioning, strategy_name, nodes, cfg, None).0
+}
+
+/// Like [`run_cell_with`], optionally recording a telemetry
+/// [`TimeSeries`] with the given virtual-time bucket width. The series is
+/// `None` when recording was off or the run died out of memory.
+pub fn run_cell_recorded(
+    netlist: &Netlist,
+    graph: &CircuitGraph,
+    partitioning: &Partitioning,
+    strategy_name: &str,
+    nodes: usize,
+    cfg: &SimConfig,
+    bucket_width: Option<u64>,
+) -> (RunMetrics, Option<TimeSeries>) {
     assert!(partitioning.is_valid_for(graph));
     let app = cfg.build_app(netlist);
     let edge_cut = pls_partition::metrics::edge_cut(graph, partitioning);
-    match run_platform(&app, &partitioning.assignment, nodes, &cfg.platform) {
-        Ok(res) => RunMetrics {
-            circuit: netlist.name().to_string(),
-            strategy: strategy_name.to_string(),
-            nodes,
-            exec_time_s: res.exec_time_s,
-            app_messages: res.stats.app_messages,
-            rollbacks: res.stats.rollbacks(),
-            events_committed: res.stats.events_committed,
-            events_processed: res.stats.events_processed,
-            remote_antis: res.stats.anti_messages_remote,
-            edge_cut,
-            out_of_memory: false,
-        },
-        Err(PlatformError::OutOfMemory { .. }) => RunMetrics {
-            circuit: netlist.name().to_string(),
-            strategy: strategy_name.to_string(),
-            nodes,
-            exec_time_s: f64::NAN,
-            app_messages: 0,
-            rollbacks: 0,
-            events_committed: 0,
-            events_processed: 0,
-            remote_antis: 0,
-            edge_cut,
-            out_of_memory: true,
-        },
+    let mut sim = Simulator::new(&app).platform_config(&cfg.platform);
+    if let Some(w) = bucket_width {
+        sim = sim.record(w);
+    }
+    match sim.run(Backend::Platform { assignment: &partitioning.assignment, nodes }) {
+        Ok(res) => (
+            RunMetrics {
+                circuit: netlist.name().to_string(),
+                strategy: strategy_name.to_string(),
+                nodes,
+                exec_time_s: res.outcome.exec_time_s().expect("platform outcome"),
+                app_messages: res.stats.app_messages,
+                rollbacks: res.stats.rollbacks(),
+                events_committed: res.stats.events_committed,
+                events_processed: res.stats.events_processed,
+                remote_antis: res.stats.anti_messages_remote,
+                edge_cut,
+                out_of_memory: false,
+            },
+            res.telemetry,
+        ),
+        Err(SimError::OutOfMemory { .. }) => (
+            RunMetrics {
+                circuit: netlist.name().to_string(),
+                strategy: strategy_name.to_string(),
+                nodes,
+                exec_time_s: f64::NAN,
+                app_messages: 0,
+                rollbacks: 0,
+                events_committed: 0,
+                events_processed: 0,
+                remote_antis: 0,
+                edge_cut,
+                out_of_memory: true,
+            },
+            None,
+        ),
+        Err(e) => panic!("misconfigured cell: {e}"),
     }
 }
 
@@ -178,8 +200,10 @@ pub fn run_cell_checked(
 ) -> RunMetrics {
     let partitioning = strategy.partition(graph, nodes, seed);
     let app = cfg.build_app(netlist);
-    let seq = run_sequential(&app);
-    let res = run_platform(&app, &partitioning.assignment, nodes, &cfg.platform)
+    let seq = Simulator::new(&app).run(Backend::Sequential).expect("sequential runs cannot fail");
+    let res = Simulator::new(&app)
+        .platform_config(&cfg.platform)
+        .run(Backend::Platform { assignment: &partitioning.assignment, nodes })
         .expect("checked runs must not OOM");
     assert_eq!(
         fingerprint(&res.states),

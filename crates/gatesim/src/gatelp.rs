@@ -163,7 +163,14 @@ impl GateSim {
         VTime(self.clock_offset + i * self.clock_period)
     }
 
-    fn broadcast(&self, lp: LpId, state: &mut GateState, now: VTime, v: Value, sink: &mut EventSink<GateMsg>) {
+    fn broadcast(
+        &self,
+        lp: LpId,
+        state: &mut GateState,
+        now: VTime,
+        v: Value,
+        sink: &mut EventSink<GateMsg>,
+    ) {
         state.output = v;
         state.note_transition(now.after(self.delay[lp as usize]), v);
         for &(reader, pin) in &self.readers[lp as usize] {
@@ -181,9 +188,7 @@ impl Application for GateSim {
     }
 
     fn init_state(&self, lp: LpId) -> GateState {
-        let stim = self
-            .input_index[lp as usize]
-            .map(|ix| self.stim.stream(ix));
+        let stim = self.input_index[lp as usize].map(|ix| self.stim.stream(ix));
         GateState {
             inputs: vec![Value::X; self.fanin_len[lp as usize] as usize],
             output: Value::X,
@@ -252,9 +257,7 @@ impl Application for GateSim {
                             // Activity-driven clocking: ensure a sampling
                             // tick at the next clock edge after `now`.
                             let edge = self.next_clock_edge(now);
-                            if edge <= self.end_time
-                                && state.next_tick.is_none_or(|t| t > edge)
-                            {
+                            if edge <= self.end_time && state.next_tick.is_none_or(|t| t > edge) {
                                 state.next_tick = Some(edge);
                                 sink.schedule_at(lp, edge, GateMsg::SelfTick);
                             }
@@ -285,7 +288,11 @@ impl Application for GateSim {
 mod tests {
     use super::*;
     use pls_netlist::bench_format::parse;
-    use pls_timewarp::run_sequential;
+    use pls_timewarp::{Application, Backend, RunReport, Simulator};
+
+    fn run_sequential<A: Application>(app: &A) -> RunReport<A> {
+        Simulator::new(app).run(Backend::Sequential).unwrap()
+    }
 
     fn sim(netlist: &Netlist, end: u64) -> GateSim {
         GateSim::new(
@@ -345,7 +352,7 @@ mod tests {
         let app = sim(&n, 50);
         let res = run_sequential(&app);
         // Nothing can execute later than horizon + total pipeline delay.
-        assert!(res.end_time.0 <= 50 + 4);
+        assert!(res.outcome.end_time().unwrap().0 <= 50 + 4);
     }
 
     #[test]

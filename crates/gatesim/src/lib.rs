@@ -26,10 +26,10 @@ pub mod experiment;
 pub mod gatelp;
 pub mod vcd;
 
-pub use experiment::{
-    fingerprint, run_cell, run_cell_checked, run_cell_with, run_seq_baseline, RunMetrics,
-    SeqMetrics, SimConfig,
-};
 pub use activity::{activity_weighted_graph, ActivityProfile};
+pub use experiment::{
+    fingerprint, run_cell, run_cell_checked, run_cell_recorded, run_cell_with, run_seq_baseline,
+    RunMetrics, SeqMetrics, SimConfig,
+};
 pub use gatelp::{GateMsg, GateSim, GateState};
 pub use vcd::{write_vcd, WaveRecorder, Waveform};

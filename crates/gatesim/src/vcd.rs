@@ -62,7 +62,9 @@ impl WaveRecorder {
 
     /// Run the wrapped simulation sequentially and collect the waveform.
     pub fn record(&self) -> Waveform {
-        let res = pls_timewarp::run_sequential(self);
+        let res = pls_timewarp::Simulator::new(self)
+            .run(pls_timewarp::Backend::Sequential)
+            .expect("sequential runs cannot fail");
         Waveform { transitions: res.states.into_iter().map(|s| s.history).collect() }
     }
 }
@@ -216,7 +218,9 @@ mod tests {
             10,
             120,
         );
-        let plain = pls_timewarp::run_sequential(&app);
+        let plain = pls_timewarp::Simulator::new(&app)
+            .run(pls_timewarp::Backend::Sequential)
+            .expect("sequential runs cannot fail");
         let wave = record(&netlist);
         for (lp, st) in plain.states.iter().enumerate() {
             assert_eq!(
@@ -234,11 +238,8 @@ mod tests {
         let vcd = write_vcd(&netlist, &wave, netlist.outputs(), "1ns");
         assert!(vcd.contains("$timescale 1ns $end"));
         assert!(vcd.contains("$enddefinitions"));
-        let times: Vec<u64> = vcd
-            .lines()
-            .filter_map(|l| l.strip_prefix('#'))
-            .map(|t| t.parse().unwrap())
-            .collect();
+        let times: Vec<u64> =
+            vcd.lines().filter_map(|l| l.strip_prefix('#')).map(|t| t.parse().unwrap()).collect();
         assert!(!times.is_empty(), "no value changes dumped");
         assert!(times.windows(2).all(|w| w[0] < w[1]), "timestamps must ascend");
     }

@@ -5,7 +5,11 @@
 use pls_gatesim::{GateSim, SimConfig};
 use pls_logic::{DelayModel, StimulusConfig, Value};
 use pls_netlist::bench_format::parse;
-use pls_timewarp::run_sequential;
+use pls_timewarp::{Application, Backend, RunReport, Simulator};
+
+fn run_sequential<A: Application>(app: &A) -> RunReport<A> {
+    Simulator::new(app).run(Backend::Sequential).unwrap()
+}
 
 fn sim(text: &str, seed: u64, toggle: f64, end: u64) -> (pls_netlist::Netlist, GateSim) {
     let n = parse("t", text).unwrap();
@@ -37,12 +41,7 @@ fn glitches_propagate_through_unequal_paths() {
     // Y = AND(A, NOT(A)) is logically 0, but the inverter path is one
     // delay longer, so every A edge produces a 1-glitch on Y under pure
     // transport delays.
-    let (n, app) = sim(
-        "INPUT(A)\nOUTPUT(Y)\nB = NOT(A)\nY = AND(A, B)\n",
-        5,
-        1.0,
-        200,
-    );
+    let (n, app) = sim("INPUT(A)\nOUTPUT(Y)\nB = NOT(A)\nY = AND(A, B)\n", 5, 1.0, 200);
     let res = run_sequential(&app);
     let y = &res.states[n.find("Y").unwrap() as usize];
     assert!(
@@ -56,12 +55,8 @@ fn glitches_propagate_through_unequal_paths() {
 fn equal_paths_do_not_glitch() {
     // Y = XOR(B, C) with B = BUFF(A), C = BUFF(A): both inputs change at
     // the same instant (one batch), Y evaluates once and stays 0.
-    let (n, app) = sim(
-        "INPUT(A)\nOUTPUT(Y)\nB = BUFF(A)\nC = BUFF(A)\nY = XOR(B, C)\n",
-        5,
-        1.0,
-        200,
-    );
+    let (n, app) =
+        sim("INPUT(A)\nOUTPUT(Y)\nB = BUFF(A)\nC = BUFF(A)\nY = XOR(B, C)\n", 5, 1.0, 200);
     let res = run_sequential(&app);
     let y = &res.states[n.find("Y").unwrap() as usize];
     // Y leaves X once (to 0) and never toggles.

@@ -12,8 +12,7 @@ use pls_netlist::GateKind;
 
 /// A gate delay model: simulated-time units from input change to output
 /// change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DelayModel {
     /// Every gate has the same delay.
     Unit(u64),
@@ -22,7 +21,6 @@ pub enum DelayModel {
     #[default]
     PerKind,
 }
-
 
 impl DelayModel {
     /// Delay of a gate of `kind` with `fanin` inputs. Never zero: a

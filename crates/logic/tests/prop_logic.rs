@@ -1,127 +1,137 @@
-//! Property tests for four-valued logic: the algebraic laws gate-level
-//! simulation correctness rests on.
-
-use proptest::prelude::*;
+//! Property-style tests for four-valued logic: the algebraic laws
+//! gate-level simulation correctness rests on, checked over a
+//! deterministic sweep of random vectors (the offline build has no
+//! proptest, so cases are generated with an explicit PRNG).
 
 use pls_logic::{eval_gate, Value};
 use pls_netlist::GateKind;
 
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::V0),
-        Just(Value::V1),
-        Just(Value::X),
-        Just(Value::Z)
-    ]
+const VALUES: [Value; 4] = [Value::V0, Value::V1, Value::X, Value::Z];
+const NARY: [GateKind; 6] =
+    [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor, GateKind::Xnor];
+
+/// splitmix64 — drives the case sweeps deterministically.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
-fn nary_kind() -> impl Strategy<Value = GateKind> {
-    prop_oneof![
-        Just(GateKind::And),
-        Just(GateKind::Nand),
-        Just(GateKind::Or),
-        Just(GateKind::Nor),
-        Just(GateKind::Xor),
-        Just(GateKind::Xnor),
-    ]
+fn value(s: &mut u64) -> Value {
+    VALUES[(mix(s) % 4) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn inputs(s: &mut u64) -> Vec<Value> {
+    let n = 2 + mix(s) % 4;
+    (0..n).map(|_| value(s)).collect()
+}
 
-    #[test]
-    fn nary_gates_are_permutation_invariant(
-        kind in nary_kind(),
-        mut inputs in prop::collection::vec(value(), 2..6),
-        swap_a in 0usize..6,
-        swap_b in 0usize..6,
-    ) {
-        let before = eval_gate(kind, &inputs);
-        let (a, b) = (swap_a % inputs.len(), swap_b % inputs.len());
-        inputs.swap(a, b);
-        prop_assert_eq!(eval_gate(kind, &inputs), before);
+#[test]
+fn nary_gates_are_permutation_invariant() {
+    let mut s = 1u64;
+    for _ in 0..256 {
+        let kind = NARY[(mix(&mut s) % 6) as usize];
+        let mut ins = inputs(&mut s);
+        let before = eval_gate(kind, &ins);
+        let (a, b) = ((mix(&mut s) as usize) % ins.len(), (mix(&mut s) as usize) % ins.len());
+        ins.swap(a, b);
+        assert_eq!(eval_gate(kind, &ins), before);
     }
+}
 
-    #[test]
-    fn x_never_creates_certainty(
-        kind in nary_kind(),
-        inputs in prop::collection::vec(value(), 2..6),
-        poison in 0usize..6,
-    ) {
-        // Replacing one input with X can only keep the output or turn it
-        // unknown — never flip a known output to the other known value.
-        let known = eval_gate(kind, &inputs);
-        let mut fuzzed = inputs.clone();
-        fuzzed[poison % inputs.len()] = Value::X;
+#[test]
+fn x_never_creates_certainty() {
+    // Replacing one input with X can only keep the output or turn it
+    // unknown — never flip a known output to the other known value.
+    let mut s = 2u64;
+    for _ in 0..256 {
+        let kind = NARY[(mix(&mut s) % 6) as usize];
+        let ins = inputs(&mut s);
+        let known = eval_gate(kind, &ins);
+        let mut fuzzed = ins.clone();
+        let p = (mix(&mut s) as usize) % ins.len();
+        fuzzed[p] = Value::X;
         let fuzzy = eval_gate(kind, &fuzzed);
-        prop_assert!(fuzzy == known || fuzzy == Value::X,
-            "{kind:?}{inputs:?} = {known}, X-poisoned gave {fuzzy}");
+        assert!(
+            fuzzy == known || fuzzy == Value::X,
+            "{kind:?}{ins:?} = {known}, X-poisoned gave {fuzzy}"
+        );
     }
+}
 
-    #[test]
-    fn z_behaves_exactly_like_x_at_gate_inputs(
-        kind in nary_kind(),
-        inputs in prop::collection::vec(value(), 2..6),
-        pin in 0usize..6,
-    ) {
-        let mut with_x = inputs.clone();
-        let mut with_z = inputs;
-        let p = pin % with_x.len();
+#[test]
+fn z_behaves_exactly_like_x_at_gate_inputs() {
+    let mut s = 3u64;
+    for _ in 0..256 {
+        let kind = NARY[(mix(&mut s) % 6) as usize];
+        let mut with_x = inputs(&mut s);
+        let mut with_z = with_x.clone();
+        let p = (mix(&mut s) as usize) % with_x.len();
         with_x[p] = Value::X;
         with_z[p] = Value::Z;
-        prop_assert_eq!(eval_gate(kind, &with_x), eval_gate(kind, &with_z));
+        assert_eq!(eval_gate(kind, &with_x), eval_gate(kind, &with_z));
     }
+}
 
-    #[test]
-    fn negated_kinds_are_exact_complements(
-        inputs in prop::collection::vec(value(), 2..6),
-    ) {
+#[test]
+fn negated_kinds_are_exact_complements() {
+    let mut s = 4u64;
+    for _ in 0..256 {
+        let ins = inputs(&mut s);
         for (pos, neg) in [
             (GateKind::And, GateKind::Nand),
             (GateKind::Or, GateKind::Nor),
             (GateKind::Xor, GateKind::Xnor),
         ] {
-            prop_assert_eq!(eval_gate(pos, &inputs).not(), eval_gate(neg, &inputs));
+            assert_eq!(eval_gate(pos, &ins).not(), eval_gate(neg, &ins));
         }
     }
+}
 
-    #[test]
-    fn wide_gates_reduce_like_folds(
-        inputs in prop::collection::vec(value(), 2..6),
-    ) {
-        let and_fold = inputs.iter().copied().reduce(Value::and).unwrap();
-        prop_assert_eq!(eval_gate(GateKind::And, &inputs), and_fold);
-        let or_fold = inputs.iter().copied().reduce(Value::or).unwrap();
-        prop_assert_eq!(eval_gate(GateKind::Or, &inputs), or_fold);
-        let xor_fold = inputs.iter().copied().reduce(Value::xor).unwrap();
-        prop_assert_eq!(eval_gate(GateKind::Xor, &inputs), xor_fold);
+#[test]
+fn wide_gates_reduce_like_folds() {
+    let mut s = 5u64;
+    for _ in 0..256 {
+        let ins = inputs(&mut s);
+        let and_fold = ins.iter().copied().reduce(Value::and).unwrap();
+        assert_eq!(eval_gate(GateKind::And, &ins), and_fold);
+        let or_fold = ins.iter().copied().reduce(Value::or).unwrap();
+        assert_eq!(eval_gate(GateKind::Or, &ins), or_fold);
+        let xor_fold = ins.iter().copied().reduce(Value::xor).unwrap();
+        assert_eq!(eval_gate(GateKind::Xor, &ins), xor_fold);
     }
+}
 
-    #[test]
-    fn known_inputs_give_known_outputs(
-        kind in nary_kind(),
-        bits in prop::collection::vec(prop::bool::ANY, 2..6),
-    ) {
-        let inputs: Vec<Value> = bits.iter().map(|&b| Value::from_bool(b)).collect();
-        prop_assert!(eval_gate(kind, &inputs).is_known());
+#[test]
+fn known_inputs_give_known_outputs() {
+    let mut s = 6u64;
+    for _ in 0..256 {
+        let kind = NARY[(mix(&mut s) % 6) as usize];
+        let n = 2 + mix(&mut s) % 4;
+        let ins: Vec<Value> =
+            (0..n).map(|_| Value::from_bool(mix(&mut s).is_multiple_of(2))).collect();
+        assert!(eval_gate(kind, &ins).is_known());
     }
+}
 
-    #[test]
-    fn stimulus_streams_are_independent_and_reproducible(
-        seed in 0u64..10_000,
-        a in 0u32..64,
-        b in 0u32..64,
-    ) {
-        use pls_logic::InputStream;
+#[test]
+fn stimulus_streams_are_independent_and_reproducible() {
+    use pls_logic::InputStream;
+    let mut s = 7u64;
+    for _ in 0..64 {
+        let seed = mix(&mut s) % 10_000;
+        let (a, b) = ((mix(&mut s) % 64) as u32, (mix(&mut s) % 64) as u32);
         let run = |input: u32| -> Vec<Option<Value>> {
-            let mut s = InputStream::new(seed, input, 0.5);
-            (0..32).map(|_| s.tick()).collect()
+            let mut st = InputStream::new(seed, input, 0.5);
+            (0..32).map(|_| st.tick()).collect()
         };
-        prop_assert_eq!(run(a).clone(), run(a));
+        assert_eq!(run(a), run(a));
         if a != b {
             // Streams for different inputs differ (overwhelmingly likely
             // over 32 ticks; equality would signal a seeding bug).
-            prop_assert_ne!(run(a), run(b));
+            assert_ne!(run(a), run(b));
         }
     }
 }

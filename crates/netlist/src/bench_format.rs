@@ -162,8 +162,7 @@ pub fn write(netlist: &Netlist) -> String {
         if g.kind == GateKind::Input {
             continue;
         }
-        let ins: Vec<&str> =
-            g.fanin.iter().map(|&f| netlist.gate(f).name.as_str()).collect();
+        let ins: Vec<&str> = g.fanin.iter().map(|&f| netlist.gate(f).name.as_str()).collect();
         out.push_str(&format!("{} = {}({})\n", g.name, g.kind.bench_name(), ins.join(", ")));
     }
     out

@@ -54,11 +54,8 @@ mod tests {
 
     fn sample() -> Netlist {
         // A -> B -> D(DFF) -> E ; A -> C -> E
-        parse(
-            "cones",
-            "INPUT(A)\nOUTPUT(E)\nB = NOT(A)\nC = BUFF(A)\nD = DFF(B)\nE = AND(D, C)\n",
-        )
-        .unwrap()
+        parse("cones", "INPUT(A)\nOUTPUT(E)\nB = NOT(A)\nC = BUFF(A)\nD = DFF(B)\nE = AND(D, C)\n")
+            .unwrap()
     }
 
     #[test]

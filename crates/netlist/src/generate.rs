@@ -358,15 +358,9 @@ mod tests {
     #[test]
     fn few_dangling_gates() {
         let n = IscasSynth::s5378().build();
-        let dangling = n
-            .ids()
-            .filter(|&g| n.fanout(g).is_empty() && !n.outputs().contains(&g))
-            .count();
-        assert!(
-            dangling * 20 < n.len(),
-            "more than 5% dangling gates ({dangling} of {})",
-            n.len()
-        );
+        let dangling =
+            n.ids().filter(|&g| n.fanout(g).is_empty() && !n.outputs().contains(&g)).count();
+        assert!(dangling * 20 < n.len(), "more than 5% dangling gates ({dangling} of {})", n.len());
     }
 
     #[test]

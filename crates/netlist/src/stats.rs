@@ -39,8 +39,7 @@ impl CircuitStats {
         let mut kind_histogram: Vec<(GateKind, usize)> =
             GateKind::ALL.iter().map(|&k| (k, 0)).collect();
         for g in netlist.gates() {
-            let slot =
-                kind_histogram.iter_mut().find(|(k, _)| *k == g.kind).expect("kind in ALL");
+            let slot = kind_histogram.iter_mut().find(|(k, _)| *k == g.kind).expect("kind in ALL");
             slot.1 += 1;
         }
         let n = netlist.len();
@@ -78,11 +77,9 @@ mod tests {
 
     #[test]
     fn stats_of_tiny_circuit() {
-        let n = parse(
-            "t",
-            "INPUT(A)\nINPUT(B)\nOUTPUT(Y)\nC = NAND(A, B)\nD = DFF(C)\nY = NOT(D)\n",
-        )
-        .unwrap();
+        let n =
+            parse("t", "INPUT(A)\nINPUT(B)\nOUTPUT(Y)\nC = NAND(A, B)\nD = DFF(C)\nY = NOT(D)\n")
+                .unwrap();
         let s = CircuitStats::of(&n);
         assert_eq!(s.inputs, 2);
         assert_eq!(s.gates, 2); // NAND + NOT; DFF counted separately

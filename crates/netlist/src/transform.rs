@@ -91,11 +91,7 @@ mod tests {
     #[test]
     fn sweep_removes_unobservable_logic() {
         // D is driven but drives nothing and is not an output.
-        let n = parse(
-            "d",
-            "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\nD = BUFF(A)\nE = NOT(D)\n",
-        )
-        .unwrap();
+        let n = parse("d", "INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\nD = BUFF(A)\nE = NOT(D)\n").unwrap();
         let res = sweep_dead_logic(&n);
         assert_eq!(res.removed.len(), 2, "D and E are dead");
         assert_eq!(res.netlist.num_logic_gates(), 1);

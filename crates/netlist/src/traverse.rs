@@ -87,11 +87,7 @@ mod tests {
 
     fn diamond() -> Netlist {
         // A feeds B and C; D = AND(B, C).
-        parse(
-            "diamond",
-            "INPUT(A)\nOUTPUT(D)\nB = NOT(A)\nC = BUFF(A)\nD = AND(B, C)\n",
-        )
-        .unwrap()
+        parse("diamond", "INPUT(A)\nOUTPUT(D)\nB = NOT(A)\nC = BUFF(A)\nD = AND(B, C)\n").unwrap()
     }
 
     #[test]

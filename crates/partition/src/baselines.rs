@@ -50,8 +50,7 @@ impl Partitioner for TopologicalPartitioner {
     fn partition(&self, g: &CircuitGraph, k: usize, seed: u64) -> Partitioning {
         assert!(g.has_levels(), "topological partitioner needs a level-annotated graph");
         let _ = seed; // deterministic given the graph
-        let depth =
-            g.vertices().filter_map(|v| g.level(v)).max().unwrap_or(0) as usize + 1;
+        let depth = g.vertices().filter_map(|v| g.level(v)).max().unwrap_or(0) as usize + 1;
         let mut by_level: Vec<Vec<VertexId>> = vec![Vec::new(); depth];
         for v in g.vertices() {
             by_level[g.level(v).unwrap() as usize].push(v);
@@ -129,11 +128,8 @@ impl Partitioner for ConePartitioner {
 
         // Collect the cone of every input, largest first so big cones get
         // first pick of empty partitions.
-        let mut cones: Vec<(VertexId, Vec<VertexId>)> = g
-            .input_vertices()
-            .into_iter()
-            .map(|root| (root, cone_of(g, root)))
-            .collect();
+        let mut cones: Vec<(VertexId, Vec<VertexId>)> =
+            g.input_vertices().into_iter().map(|root| (root, cone_of(g, root))).collect();
         cones.sort_by_key(|(root, c)| (std::cmp::Reverse(c.len()), *root));
 
         // Capacity cap: real input cones overlap heavily (control nets fan

@@ -13,17 +13,18 @@ const PALETTE: [&str; 12] = [
 /// Render the graph as DOT. When a partitioning is given, vertices are
 /// filled by partition and cut edges drawn dashed red. Intended for small
 /// circuits (hundreds of vertices) — graphviz will not enjoy s15850.
-pub fn to_dot(g: &CircuitGraph, partitioning: Option<&Partitioning>, names: Option<&[String]>) -> String {
+pub fn to_dot(
+    g: &CircuitGraph,
+    partitioning: Option<&Partitioning>,
+    names: Option<&[String]>,
+) -> String {
     let mut out = String::from("digraph circuit {\n  rankdir=LR;\n  node [style=filled];\n");
     for v in g.vertices() {
-        let label = names
-            .and_then(|n| n.get(v as usize))
-            .cloned()
-            .unwrap_or_else(|| format!("v{v}"));
+        let label =
+            names.and_then(|n| n.get(v as usize)).cloned().unwrap_or_else(|| format!("v{v}"));
         let shape = if g.is_input(v) { "invtriangle" } else { "box" };
-        let color = partitioning
-            .map(|p| PALETTE[p.part(v) as usize % PALETTE.len()])
-            .unwrap_or("#ffffff");
+        let color =
+            partitioning.map(|p| PALETTE[p.part(v) as usize % PALETTE.len()]).unwrap_or("#ffffff");
         out.push_str(&format!(
             "  n{v} [label=\"{label}\", shape={shape}, fillcolor=\"{color}\"];\n"
         ));
@@ -87,8 +88,7 @@ mod tests {
     fn names_appear_when_given() {
         let netlist = pls_netlist::data::c17();
         let g = CircuitGraph::from_netlist(&netlist);
-        let names: Vec<String> =
-            netlist.gates().iter().map(|gate| gate.name.clone()).collect();
+        let names: Vec<String> = netlist.gates().iter().map(|gate| gate.name.clone()).collect();
         let dot = to_dot(&g, None, Some(&names));
         assert!(dot.contains("label=\"22\""));
     }

@@ -33,8 +33,7 @@ pub mod refiners;
 pub mod util;
 
 pub use baselines::{
-    ClusterPartitioner, ConePartitioner, DfsPartitioner, RandomPartitioner,
-    TopologicalPartitioner,
+    ClusterPartitioner, ConePartitioner, DfsPartitioner, RandomPartitioner, TopologicalPartitioner,
 };
 pub use dot::to_dot;
 pub use graph::{CircuitGraph, VertexId};
@@ -69,9 +68,7 @@ pub fn all_partitioners() -> Vec<Box<dyn Partitioner + Send + Sync>> {
 
 /// Look a strategy up by its display name (case-insensitive).
 pub fn partitioner_by_name(name: &str) -> Option<Box<dyn Partitioner + Send + Sync>> {
-    all_partitioners()
-        .into_iter()
-        .find(|p| p.name().eq_ignore_ascii_case(name))
+    all_partitioners().into_iter().find(|p| p.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

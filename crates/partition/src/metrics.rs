@@ -97,8 +97,7 @@ mod tests {
 
     fn chain_graph() -> CircuitGraph {
         // A -> B -> C -> D (ids 0..4 with A input).
-        let n =
-            parse("c", "INPUT(A)\nOUTPUT(D)\nB = NOT(A)\nC = NOT(B)\nD = NOT(C)\n").unwrap();
+        let n = parse("c", "INPUT(A)\nOUTPUT(D)\nB = NOT(A)\nC = NOT(B)\nD = NOT(C)\n").unwrap();
         CircuitGraph::from_netlist(&n)
     }
 

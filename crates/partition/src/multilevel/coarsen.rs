@@ -107,8 +107,7 @@ fn coarsen_round(g: &CircuitGraph, seeds: &[VertexId], cfg: &CoarsenConfig) -> O
     // the primary inputs in round one), then every remaining vertex.
     let mut visited = vec![false; n];
     let mut stack: Vec<VertexId> = Vec::new();
-    let roots: Vec<VertexId> =
-        seeds.iter().copied().chain(g.vertices()).collect();
+    let roots: Vec<VertexId> = seeds.iter().copied().chain(g.vertices()).collect();
 
     for root in roots {
         if visited[root as usize] {
@@ -317,8 +316,7 @@ mod tests {
     fn globule_weight_cap_is_respected() {
         let g = g0(600, 1);
         let cfg = CoarsenConfig::for_k(8);
-        let cap =
-            ((g.total_weight() as f64 / cfg.k as f64) * cfg.max_globule_frac).ceil() as u64;
+        let cap = ((g.total_weight() as f64 / cfg.k as f64) * cfg.max_globule_frac).ceil() as u64;
         for l in coarsen(&g, &cfg) {
             for v in l.graph.vertices() {
                 // The cap is recomputed from the (invariant) total weight

@@ -50,10 +50,7 @@ mod tests {
 
     fn coarsest(gates: usize, k: usize, seed: u64) -> CircuitGraph {
         let g = CircuitGraph::from_netlist(&IscasSynth::small(gates, seed).build());
-        coarsen(&g, &CoarsenConfig::for_k(k))
-            .last()
-            .map(|l| l.graph.clone())
-            .unwrap_or(g)
+        coarsen(&g, &CoarsenConfig::for_k(k)).last().map(|l| l.graph.clone()).unwrap_or(g)
     }
 
     #[test]

@@ -58,12 +58,7 @@ pub struct MultilevelReport {
 
 impl MultilevelPartitioner {
     /// Run the pipeline and keep per-phase statistics.
-    pub fn partition_with_report(
-        &self,
-        g: &CircuitGraph,
-        k: usize,
-        seed: u64,
-    ) -> MultilevelReport {
+    pub fn partition_with_report(&self, g: &CircuitGraph, k: usize, seed: u64) -> MultilevelReport {
         let mut ccfg = CoarsenConfig::for_k(k);
         if let Some(t) = self.config.coarsen_threshold {
             ccfg.threshold = t;
@@ -83,8 +78,7 @@ impl MultilevelPartitioner {
         level_sizes.extend(hierarchy.iter().map(|l| l.graph.len()));
 
         // Phase 2: initial partition at the coarsest level.
-        let coarsest: &CircuitGraph =
-            hierarchy.last().map(|l| &l.graph).unwrap_or(g);
+        let coarsest: &CircuitGraph = hierarchy.last().map(|l| &l.graph).unwrap_or(g);
         let mut p = initial::initial_partition(coarsest, k, seed);
 
         // Phase 3: refine at the coarsest level, then project level by
@@ -98,8 +92,7 @@ impl MultilevelPartitioner {
             // Project to the next finer graph: fine vertex v belongs to the
             // partition of its globule (∀ v ∈ V_ij : P[v] = P[V_ij]).
             p = p.project(&level.map);
-            let fine_graph: &CircuitGraph =
-                if idx == 0 { g } else { &hierarchy[idx - 1].graph };
+            let fine_graph: &CircuitGraph = if idx == 0 { g } else { &hierarchy[idx - 1].graph };
             rebalance(fine_graph, &mut p, gcfg.balance_eps, seed ^ idx as u64);
             refine_stats.push(greedy_refine(fine_graph, &mut p, &gcfg, seed ^ idx as u64));
         }

@@ -102,7 +102,9 @@ pub fn greedy_refine(
                     continue;
                 }
                 match best {
-                    Some((bt, bg)) if gain < bg || (gain == bg && loads[to as usize] >= loads[bt as usize]) => {}
+                    Some((bt, bg))
+                        if gain < bg
+                            || (gain == bg && loads[to as usize] >= loads[bt as usize]) => {}
                     _ => best = Some((to, gain)),
                 }
             }
@@ -220,7 +222,8 @@ mod tests {
         // iterations".
         let g = g0(400, 4);
         let mut p = RandomPartitioner.partition(&g, 8, 0);
-        let stats = greedy_refine(&g, &mut p, &GreedyConfig { max_iters: 50, ..Default::default() }, 0);
+        let stats =
+            greedy_refine(&g, &mut p, &GreedyConfig { max_iters: 50, ..Default::default() }, 0);
         assert!(stats.iters <= 15, "took {} iterations", stats.iters);
     }
 
@@ -248,10 +251,7 @@ mod tests {
         rebalance(&g, &mut p, 0.10, 0);
         let loads = p.loads(&g);
         let lmax = ((g.total_weight() as f64 / 4.0) * 1.10).ceil() as u64;
-        assert!(
-            loads.iter().all(|&l| l <= lmax),
-            "loads {loads:?} exceed {lmax}"
-        );
+        assert!(loads.iter().all(|&l| l <= lmax), "loads {loads:?} exceed {lmax}");
     }
 
     #[test]

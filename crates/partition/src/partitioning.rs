@@ -50,16 +50,14 @@ impl Partitioning {
     /// Check structural validity against a graph: every vertex assigned to
     /// a partition `< k` and the vector length matches.
     pub fn is_valid_for(&self, g: &CircuitGraph) -> bool {
-        self.assignment.len() == g.len()
-            && self.assignment.iter().all(|&p| (p as usize) < self.k)
+        self.assignment.len() == g.len() && self.assignment.iter().all(|&p| (p as usize) < self.k)
     }
 
     /// Project this coarse-level partitioning to a finer level through a
     /// `fine vertex -> coarse vertex` map (the multilevel "recursive
     /// projection to the next higher level" of the paper's Figure 2).
     pub fn project(&self, fine_to_coarse: &[u32]) -> Partitioning {
-        let assignment =
-            fine_to_coarse.iter().map(|&c| self.assignment[c as usize]).collect();
+        let assignment = fine_to_coarse.iter().map(|&c| self.assignment[c as usize]).collect();
         Partitioning { k: self.k, assignment }
     }
 }

@@ -207,12 +207,7 @@ pub fn kl_refine(g: &CircuitGraph, p: &mut Partitioning, passes: usize, max_swap
 
 /// k-way Fiduccia–Mattheyses refinement by pairwise passes. Never
 /// increases the cut.
-pub fn fm_refine(
-    g: &CircuitGraph,
-    p: &mut Partitioning,
-    passes: usize,
-    balance_eps: f64,
-) -> u64 {
+pub fn fm_refine(g: &CircuitGraph, p: &mut Partitioning, passes: usize, balance_eps: f64) -> u64 {
     let before = edge_cut(g, p);
     let max_moves = g.len();
     for _ in 0..passes {

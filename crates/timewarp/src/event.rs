@@ -89,7 +89,12 @@ impl<M> Transmission<M> {
 impl<M> Event<M> {
     /// The anti-message that cancels this event.
     pub fn anti(&self) -> AntiEvent {
-        AntiEvent { id: self.id, dst: self.dst, send_time: self.send_time, recv_time: self.recv_time }
+        AntiEvent {
+            id: self.id,
+            dst: self.dst,
+            send_time: self.send_time,
+            recv_time: self.recv_time,
+        }
     }
 }
 
@@ -98,7 +103,13 @@ mod tests {
     use super::*;
 
     fn ev(seq: u64) -> Event<u8> {
-        Event { id: EventId { src: 1, seq }, dst: 2, send_time: VTime(3), recv_time: VTime(7), msg: 42 }
+        Event {
+            id: EventId { src: 1, seq },
+            dst: 2,
+            send_time: VTime(3),
+            recv_time: VTime(7),
+            msg: 42,
+        }
     }
 
     #[test]

@@ -2,21 +2,25 @@
 //! a Rust reimplementation of the role WARPED \[18\] plays in the paper's
 //! SAVANT/TYVIS/WARPED stack.
 //!
-//! Three executives share one protocol engine ([`lp::LpRuntime`]):
+//! Three executives share one protocol engine ([`lp::LpRuntime`]) behind
+//! one entry point, [`Simulator`]:
 //!
-//! * [`sequential::run_sequential`] — single event queue, the baseline and
+//! * [`Backend::Sequential`] — single event queue, the baseline and
 //!   determinism oracle;
-//! * [`platform::run_platform`] — a deterministic virtual platform that
-//!   models N workstation nodes (CPU cost model + network latency) running
-//!   the real Time Warp protocol; all paper tables/figures use this;
-//! * [`threaded::run_threaded`] — real OS threads, one per cluster,
-//!   crossbeam channels and synchronized GVT, for machines with actual
-//!   parallel hardware.
+//! * [`Backend::Platform`] — a deterministic virtual platform that models
+//!   N workstation nodes (CPU cost model + network latency) running the
+//!   real Time Warp protocol; all paper tables/figures use this;
+//! * [`Backend::Threaded`] — real OS threads, one per cluster, message
+//!   channels and synchronized GVT, for machines with actual parallel
+//!   hardware.
 //!
 //! Features: aggressive and lazy cancellation, periodic state saving with
 //! coast-forward, batched simultaneous events, exact or synchronized GVT
-//! with fossil collection, and detailed statistics (rollbacks, anti and
-//! application messages — the paper's Figures 5 and 6).
+//! with fossil collection, detailed statistics (rollbacks, anti and
+//! application messages — the paper's Figures 5 and 6), and pluggable
+//! telemetry: a zero-cost [`Probe`] trait invoked at every protocol point
+//! and a [`TimeSeries`] recorder that buckets the callbacks by virtual
+//! time and exports JSONL/CSV (see `docs/TELEMETRY.md`).
 
 #![warn(missing_docs)]
 
@@ -27,18 +31,30 @@ pub mod event;
 pub mod lp;
 pub mod phold;
 pub mod platform;
+pub mod probe;
 pub mod sequential;
+pub mod series;
+pub mod sim;
 pub mod stats;
 pub mod threaded;
 pub mod time;
 
 pub use app::{Application, EventSink};
-pub use config::{Cancellation, KernelConfig};
+pub use config::{Cancellation, ConfigError, KernelConfig, KernelConfigBuilder};
 pub use cost::CostModel;
 pub use event::{AntiEvent, Event, EventId, LpId, Transmission};
 pub use phold::Phold;
-pub use platform::{run_platform, PlatformConfig, PlatformError, PlatformResult};
-pub use sequential::{run_sequential, SequentialResult};
+pub use platform::{PlatformConfig, PlatformConfigBuilder};
+pub use probe::{NoProbe, Probe, RollbackKind, Tee};
+pub use series::{Bucket, BucketKey, TimeSeries};
+pub use sim::{Backend, Outcome, RunReport, SimError, Simulator};
 pub use stats::{KernelStats, LpCounters};
-pub use threaded::{run_threaded, ThreadedResult};
 pub use time::VTime;
+
+// Deprecated pre-0.2 entry points, kept for one release.
+#[allow(deprecated)]
+pub use platform::{run_platform, PlatformError, PlatformResult};
+#[allow(deprecated)]
+pub use sequential::{run_sequential, SequentialResult};
+#[allow(deprecated)]
+pub use threaded::{run_threaded, ThreadedResult};

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use crate::app::{Application, EventSink};
 use crate::config::{Cancellation, KernelConfig};
 use crate::event::{AntiEvent, Event, EventId, LpId, Transmission};
+use crate::probe::{Probe, RollbackKind};
 use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
 
@@ -165,25 +166,27 @@ impl<A: Application> LpRuntime<A> {
     /// Deliver a transmission to this LP. Performs annihilation and (if the
     /// message is a straggler or cancels a processed event) rollback;
     /// rollback by-products — anti-messages — are pushed to `outbox`.
-    pub fn receive(
+    pub fn receive<P: Probe>(
         &mut self,
         app: &A,
         tx: Transmission<A::Msg>,
         stats: &mut KernelStats,
         outbox: &mut Vec<Transmission<A::Msg>>,
+        probe: &mut P,
     ) {
         match tx {
-            Transmission::Positive(ev) => self.receive_positive(app, ev, stats, outbox),
-            Transmission::Anti(anti) => self.receive_anti(app, anti, stats, outbox),
+            Transmission::Positive(ev) => self.receive_positive(app, ev, stats, outbox, probe),
+            Transmission::Anti(anti) => self.receive_anti(app, anti, stats, outbox, probe),
         }
     }
 
-    fn receive_positive(
+    fn receive_positive<P: Probe>(
         &mut self,
         app: &A,
         ev: Event<A::Msg>,
         stats: &mut KernelStats,
         outbox: &mut Vec<Transmission<A::Msg>>,
+        probe: &mut P,
     ) {
         debug_assert_eq!(ev.dst, self.id);
         if self.traced() {
@@ -193,25 +196,27 @@ impl<A: Application> LpRuntime<A> {
         if let Some(pos) = self.orphan_antis.iter().position(|a| a.id == ev.id) {
             self.orphan_antis.swap_remove(pos);
             stats.annihilated_pending += 1;
-            self.flush_lazy(self.next_time(), stats, outbox);
+            probe.annihilated(self.id, ev.recv_time);
+            self.flush_lazy(self.next_time(), stats, outbox, probe);
             return;
         }
         if ev.recv_time <= self.lvt {
             // Straggler: roll back to just before its receive time.
             stats.primary_rollbacks += 1;
             self.own.rollbacks += 1;
-            self.rollback_to(app, ev.recv_time, stats, outbox);
+            self.rollback_to(app, ev.recv_time, RollbackKind::Primary, stats, outbox, probe);
         }
         self.pending.insert((ev.recv_time, ev.id), ev);
-        self.flush_lazy(self.next_time(), stats, outbox);
+        self.flush_lazy(self.next_time(), stats, outbox, probe);
     }
 
-    fn receive_anti(
+    fn receive_anti<P: Probe>(
         &mut self,
         app: &A,
         anti: AntiEvent,
         stats: &mut KernelStats,
         outbox: &mut Vec<Transmission<A::Msg>>,
+        probe: &mut P,
     ) {
         debug_assert_eq!(anti.dst, self.id);
         if self.traced() {
@@ -220,26 +225,26 @@ impl<A: Application> LpRuntime<A> {
         let key = (anti.recv_time, anti.id);
         if self.pending.remove(&key).is_some() {
             stats.annihilated_pending += 1;
+            probe.annihilated(self.id, anti.recv_time);
             // Removing the pending event may raise the earliest possible
             // batch time; held cancellations below it must go out now.
-            self.flush_lazy(self.next_time(), stats, outbox);
+            self.flush_lazy(self.next_time(), stats, outbox, probe);
             return;
         }
         // The positive may already be processed: cancellation requires a
         // rollback to its receive time first.
-        if anti.recv_time <= self.lvt
-            && self.processed.iter().any(|e| e.id == anti.id)
-        {
+        if anti.recv_time <= self.lvt && self.processed.iter().any(|e| e.id == anti.id) {
             stats.secondary_rollbacks += 1;
             self.own.rollbacks += 1;
-            self.rollback_to(app, anti.recv_time, stats, outbox);
+            self.rollback_to(app, anti.recv_time, RollbackKind::Secondary, stats, outbox, probe);
             let removed = self.pending.remove(&key);
             debug_assert!(removed.is_some(), "unprocessed straggler must be in pending");
             stats.annihilated_pending += 1;
+            probe.annihilated(self.id, anti.recv_time);
             // Annihilation may have emptied the queue (or moved next_time
             // past held cancellations): close the regeneration window so
             // the LP cannot park with unsent anti-messages.
-            self.flush_lazy(self.next_time(), stats, outbox);
+            self.flush_lazy(self.next_time(), stats, outbox, probe);
             return;
         }
         // Anti before its positive: remember it.
@@ -253,11 +258,12 @@ impl<A: Application> LpRuntime<A> {
     /// straggler re-open time `S`, the re-executed send simply travels as
     /// a fresh positive — correctness is unaffected, only the lazy saving
     /// is lost for that event.)
-    fn flush_lazy(
+    fn flush_lazy<P: Probe>(
         &mut self,
         bound: VTime,
         stats: &mut KernelStats,
         outbox: &mut Vec<Transmission<A::Msg>>,
+        probe: &mut P,
     ) {
         if self.cfg.cancellation != Cancellation::Lazy || self.pending_cancel.is_empty() {
             return;
@@ -266,8 +272,12 @@ impl<A: Application> LpRuntime<A> {
         let traced = self.traced();
         for e in self.pending_cancel.drain(..cut) {
             stats.antis_sent += 1;
+            probe.anti_sent(self.id, e.send_time);
             if traced {
-                eprintln!("[lp?]   flush-anti {:?} ->{} @{} (bound {})", e.id, e.dst, e.recv_time, bound);
+                eprintln!(
+                    "[lp?]   flush-anti {:?} ->{} @{} (bound {})",
+                    e.id, e.dst, e.recv_time, bound
+                );
             }
             outbox.push(Transmission::Anti(e.anti()));
         }
@@ -276,11 +286,12 @@ impl<A: Application> LpRuntime<A> {
     /// Execute the earliest pending batch (all events sharing the minimum
     /// receive time). New sends go to `outbox`. Panics if nothing is
     /// pending — callers check [`Self::next_time`] first.
-    pub fn execute_next(
+    pub fn execute_next<P: Probe>(
         &mut self,
         app: &A,
         stats: &mut KernelStats,
         outbox: &mut Vec<Transmission<A::Msg>>,
+        probe: &mut P,
     ) {
         let now = self.next_time();
         assert!(!now.is_inf(), "execute_next on an idle LP");
@@ -297,8 +308,7 @@ impl<A: Application> LpRuntime<A> {
             }
             batch.push(entry.remove());
         }
-        let msgs: Vec<(LpId, A::Msg)> =
-            batch.iter().map(|e| (e.id.src, e.msg.clone())).collect();
+        let msgs: Vec<(LpId, A::Msg)> = batch.iter().map(|e| (e.id.src, e.msg.clone())).collect();
 
         let mut sink = EventSink::new(now);
         app.execute(self.id, &mut self.state, now, &msgs, &mut sink);
@@ -306,6 +316,7 @@ impl<A: Application> LpRuntime<A> {
         stats.batches_executed += 1;
         stats.events_processed += batch.len() as u64;
         self.own.events_processed += batch.len() as u64;
+        probe.batch_executed(self.id, now, batch.len() as u64);
         self.lvt = now;
         self.processed.append(&mut batch);
 
@@ -321,7 +332,10 @@ impl<A: Application> LpRuntime<A> {
                 {
                     let mut original = self.pending_cancel.remove(pos);
                     if self.traced() {
-                        eprintln!("[lp{}]   suppress {:?} ->{} @{}", self.id, original.id, dst, recv);
+                        eprintln!(
+                            "[lp{}]   suppress {:?} ->{} @{}",
+                            self.id, original.id, dst, recv
+                        );
                     }
                     // The original output record becomes valid again, and
                     // its ownership transfers to *this* batch: the send
@@ -351,7 +365,7 @@ impl<A: Application> LpRuntime<A> {
         // Lazy cancellation flush: anything below the next possible batch
         // time can no longer be regenerated — send those antis now. (When
         // the queue just drained, that is *everything* still held.)
-        self.flush_lazy(self.next_time(), stats, outbox);
+        self.flush_lazy(self.next_time(), stats, outbox, probe);
 
         // Checkpoint policy.
         self.batches_since_checkpoint += 1;
@@ -363,6 +377,7 @@ impl<A: Application> LpRuntime<A> {
             });
             self.batches_since_checkpoint = 0;
             stats.states_saved += 1;
+            probe.state_saved(self.id, now);
         }
     }
 
@@ -370,20 +385,24 @@ impl<A: Application> LpRuntime<A> {
     /// receive times `>= to` is undone). Restores the newest checkpoint
     /// strictly older than `to` and coast-forwards over the retained
     /// processed events without re-sending.
-    fn rollback_to(
+    fn rollback_to<P: Probe>(
         &mut self,
         app: &A,
         to: VTime,
+        kind: RollbackKind,
         stats: &mut KernelStats,
         outbox: &mut Vec<Transmission<A::Msg>>,
+        probe: &mut P,
     ) {
         if self.traced() {
             eprintln!("[lp{}] rollback to {} (lvt {})", self.id, to, self.lvt);
         }
+        probe.rollback_begun(self.id, kind, self.lvt, to);
         // 1. Unprocess events at recv_time >= to.
         let cut = self.processed.partition_point(|e| e.recv_time < to);
-        stats.events_rolled_back += (self.processed.len() - cut) as u64;
-        self.own.events_rolled_back += (self.processed.len() - cut) as u64;
+        let undone = (self.processed.len() - cut) as u64;
+        stats.events_rolled_back += undone;
+        self.own.events_rolled_back += undone;
         for ev in self.processed.split_off(cut) {
             self.pending.insert((ev.recv_time, ev.id), ev);
         }
@@ -408,13 +427,13 @@ impl<A: Application> LpRuntime<A> {
             Cancellation::Aggressive => {
                 for e in cancelled {
                     stats.antis_sent += 1;
+                    probe.anti_sent(self.id, e.send_time);
                     outbox.push(Transmission::Anti(e.anti()));
                 }
             }
             Cancellation::Lazy => {
                 for e in cancelled {
-                    let at =
-                        self.pending_cancel.partition_point(|x| x.send_time <= e.send_time);
+                    let at = self.pending_cancel.partition_point(|x| x.send_time <= e.send_time);
                     self.pending_cancel.insert(at, e);
                 }
             }
@@ -422,7 +441,8 @@ impl<A: Application> LpRuntime<A> {
 
         // 4. Coast-forward: silently re-execute the retained events between
         //    the checkpoint and `to` to rebuild the pre-straggler state.
-        stats.events_coasted += (self.processed.len() - replay_from) as u64;
+        let coasted = (self.processed.len() - replay_from) as u64;
+        stats.events_coasted += coasted;
         let mut i = replay_from;
         while i < self.processed.len() {
             let t = self.processed[i].recv_time;
@@ -442,12 +462,13 @@ impl<A: Application> LpRuntime<A> {
         // 5. Reset the local clock.
         self.lvt = self.processed.last().map(|e| e.recv_time).unwrap_or(VTime::ZERO);
         self.batches_since_checkpoint = 0;
+        probe.rollback_ended(self.id, to, undone, coasted);
     }
 
     /// Commit everything strictly below `gvt` and reclaim its memory
     /// (Jefferson's fossil collection). With `gvt == VTime::INF` the run is
     /// over and everything commits.
-    pub fn fossil_collect(&mut self, gvt: VTime, stats: &mut KernelStats) {
+    pub fn fossil_collect<P: Probe>(&mut self, gvt: VTime, stats: &mut KernelStats, probe: &mut P) {
         // Newest checkpoint strictly below GVT becomes the new floor.
         let si = self
             .states
@@ -459,19 +480,23 @@ impl<A: Application> LpRuntime<A> {
         for s in &mut self.states {
             s.processed_len -= floor;
         }
-        stats.events_committed += floor as u64;
+        let mut committed = floor as u64;
         self.processed.drain(..floor);
 
         let ocut = self.outputs.partition_point(|e| e.send_time < gvt);
         self.outputs.drain(..ocut);
 
         if gvt.is_inf() {
-            stats.events_committed += self.processed.len() as u64;
+            committed += self.processed.len() as u64;
             self.processed.clear();
             debug_assert!(
                 self.pending_cancel.is_empty(),
                 "unsent lazy antis would have held GVT below ∞"
             );
+        }
+        stats.events_committed += committed;
+        if committed > 0 {
+            probe.fossil_collected(self.id, gvt, committed);
         }
     }
 }
@@ -479,6 +504,7 @@ impl<A: Application> LpRuntime<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::NoProbe;
 
     /// A toy accumulator model: each LP's state is a running sum; a message
     /// carries a u64 that is added; each execution forwards `value + 1` to
@@ -525,8 +551,7 @@ mod tests {
         let lps: Vec<LpRuntime<Accum>> = (0..app.n as LpId)
             .map(|i| LpRuntime::new(app, i, KernelConfig::default(), &mut init))
             .collect();
-        let outbox: Vec<Transmission<u64>> =
-            init.into_iter().map(Transmission::Positive).collect();
+        let outbox: Vec<Transmission<u64>> = init.into_iter().map(Transmission::Positive).collect();
         (lps, KernelStats::default(), outbox)
     }
 
@@ -540,7 +565,7 @@ mod tests {
             // Deliver everything.
             for tx in std::mem::take(&mut outbox) {
                 let dst = tx.dst() as usize;
-                lps[dst].receive(&app, tx, &mut stats, &mut outbox);
+                lps[dst].receive(&app, tx, &mut stats, &mut outbox, &mut NoProbe);
             }
             // Execute globally-lowest next event.
             let Some(best) = (0..lps.len())
@@ -549,7 +574,7 @@ mod tests {
             else {
                 break;
             };
-            lps[best].execute_next(&app, &mut stats, &mut outbox);
+            lps[best].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         }
         assert_eq!(stats.rollbacks(), 0);
         assert_eq!(stats.events_processed, 10);
@@ -580,21 +605,27 @@ mod tests {
             recv_time: VTime(3),
             msg: 7,
         };
-        lps[1].receive(&app, Transmission::Positive(e_late), &mut stats, &mut outbox);
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
+        lps[1].receive(&app, Transmission::Positive(e_late), &mut stats, &mut outbox, &mut NoProbe);
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         assert_eq!(*lps[1].state(), 50);
         assert_eq!(lps[1].lvt(), VTime(5));
 
         // Straggler at t=3.
-        lps[1].receive(&app, Transmission::Positive(e_early), &mut stats, &mut outbox);
+        lps[1].receive(
+            &app,
+            Transmission::Positive(e_early),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
         assert_eq!(stats.primary_rollbacks, 1);
         assert_eq!(stats.events_rolled_back, 1);
         assert_eq!(*lps[1].state(), 0, "state restored to before t=5");
 
         // Re-execute both in order.
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         assert_eq!(*lps[1].state(), 7);
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         assert_eq!(*lps[1].state(), 57);
     }
 
@@ -611,8 +642,14 @@ mod tests {
             recv_time: VTime(4),
             msg: 9,
         };
-        lps[1].receive(&app, Transmission::Positive(ev.clone()), &mut stats, &mut outbox);
-        lps[1].receive(&app, Transmission::Anti(ev.anti()), &mut stats, &mut outbox);
+        lps[1].receive(
+            &app,
+            Transmission::Positive(ev.clone()),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
+        lps[1].receive(&app, Transmission::Anti(ev.anti()), &mut stats, &mut outbox, &mut NoProbe);
         assert_eq!(stats.annihilated_pending, 1);
         assert_eq!(stats.rollbacks(), 0);
         assert!(lps[1].next_time().is_inf());
@@ -632,10 +669,16 @@ mod tests {
             recv_time: VTime(4),
             msg: 9,
         };
-        lps[1].receive(&app, Transmission::Positive(ev.clone()), &mut stats, &mut outbox);
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
+        lps[1].receive(
+            &app,
+            Transmission::Positive(ev.clone()),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         assert_eq!(*lps[1].state(), 9);
-        lps[1].receive(&app, Transmission::Anti(ev.anti()), &mut stats, &mut outbox);
+        lps[1].receive(&app, Transmission::Anti(ev.anti()), &mut stats, &mut outbox, &mut NoProbe);
         assert_eq!(stats.secondary_rollbacks, 1);
         assert_eq!(*lps[1].state(), 0);
         assert!(lps[1].next_time().is_inf(), "annihilated event must not re-execute");
@@ -654,8 +697,8 @@ mod tests {
             recv_time: VTime(4),
             msg: 9,
         };
-        lps[1].receive(&app, Transmission::Anti(ev.anti()), &mut stats, &mut outbox);
-        lps[1].receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox);
+        lps[1].receive(&app, Transmission::Anti(ev.anti()), &mut stats, &mut outbox, &mut NoProbe);
+        lps[1].receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox, &mut NoProbe);
         assert!(lps[1].next_time().is_inf());
         assert_eq!(stats.annihilated_pending, 1);
     }
@@ -673,13 +716,25 @@ mod tests {
             recv_time: VTime(t),
             msg: v,
         };
-        lps[1].receive(&app, Transmission::Positive(mk(1, 5, 2)), &mut stats, &mut outbox);
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
+        lps[1].receive(
+            &app,
+            Transmission::Positive(mk(1, 5, 2)),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         // LP1 forwarded one event.
         assert_eq!(outbox.iter().filter(|t| t.is_positive()).count(), 1);
         outbox.clear();
         // Straggler at t=3 rolls back the t=5 execution → 1 anti out.
-        lps[1].receive(&app, Transmission::Positive(mk(2, 3, 4)), &mut stats, &mut outbox);
+        lps[1].receive(
+            &app,
+            Transmission::Positive(mk(2, 3, 4)),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
         let antis: Vec<_> = outbox.iter().filter(|t| !t.is_positive()).collect();
         assert_eq!(antis.len(), 1);
         assert_eq!(stats.antis_sent, 1);
@@ -704,18 +759,30 @@ mod tests {
             msg: v,
         };
         // Execute at t=5, forwarding an event.
-        lp1.receive(&app, Transmission::Positive(mk(1, 5, 2)), &mut stats, &mut outbox);
-        lp1.execute_next(&app, &mut stats, &mut outbox);
+        lp1.receive(
+            &app,
+            Transmission::Positive(mk(1, 5, 2)),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
+        lp1.execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         let sent_before = outbox.len();
         assert_eq!(sent_before, 1);
 
         // Straggler at t=3 whose message does NOT change what the t=5
         // execution sends (accumulation is independent of prior state).
-        lp1.receive(&app, Transmission::Positive(mk(2, 3, 7)), &mut stats, &mut outbox);
+        lp1.receive(
+            &app,
+            Transmission::Positive(mk(2, 3, 7)),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
         assert_eq!(stats.antis_sent, 0, "lazy: no anti yet");
         // Re-execute t=3 then t=5.
-        lp1.execute_next(&app, &mut stats, &mut outbox);
-        lp1.execute_next(&app, &mut stats, &mut outbox);
+        lp1.execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
+        lp1.execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         // The t=5 re-execution regenerated the same send for t=7 (value 3)
         // — it must have been suppressed, plus one NEW send from the t=3
         // event (value 8 at t=5... value 7+1 at t=3+2).
@@ -739,14 +806,14 @@ mod tests {
                 recv_time: VTime(t * 2),
                 msg: 1,
             };
-            lps[1].receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox);
+            lps[1].receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox, &mut NoProbe);
         }
         for _ in 0..20 {
-            lps[1].execute_next(&app, &mut stats, &mut outbox);
+            lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         }
         let before = lps[1].state_queue_len();
         assert!(before > 20);
-        lps[1].fossil_collect(VTime(30), &mut stats);
+        lps[1].fossil_collect(VTime(30), &mut stats, &mut NoProbe);
         assert!(lps[1].state_queue_len() < before);
         assert!(stats.events_committed > 0);
         // Still able to roll back to >= GVT: straggler at exactly 30.
@@ -757,14 +824,14 @@ mod tests {
             recv_time: VTime(30),
             msg: 5,
         };
-        lps[1].receive(&app, Transmission::Positive(s), &mut stats, &mut outbox);
+        lps[1].receive(&app, Transmission::Positive(s), &mut stats, &mut outbox, &mut NoProbe);
         assert_eq!(stats.primary_rollbacks, 1);
         // Replay to completion and verify the sum: 20 ones + 5.
         while !lps[1].next_time().is_inf() {
-            lps[1].execute_next(&app, &mut stats, &mut outbox);
+            lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         }
         assert_eq!(*lps[1].state(), 25);
-        lps[1].fossil_collect(VTime::INF, &mut stats);
+        lps[1].fossil_collect(VTime::INF, &mut stats, &mut NoProbe);
         assert_eq!(lps[1].state_queue_len(), 1);
     }
 
@@ -786,10 +853,10 @@ mod tests {
                 recv_time: VTime(t * 10),
                 msg: t,
             };
-            lp1.receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox);
+            lp1.receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox, &mut NoProbe);
         }
         for _ in 0..10 {
-            lp1.execute_next(&app, &mut stats, &mut outbox);
+            lp1.execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         }
         assert_eq!(*lp1.state(), 55);
         // Straggler at t=55 (between checkpoints at batches 4 and 8).
@@ -800,11 +867,11 @@ mod tests {
             recv_time: VTime(55),
             msg: 100,
         };
-        lp1.receive(&app, Transmission::Positive(s), &mut stats, &mut outbox);
+        lp1.receive(&app, Transmission::Positive(s), &mut stats, &mut outbox, &mut NoProbe);
         // State must equal the sum of messages at t < 55: 1+2+3+4+5 = 15.
         assert_eq!(*lp1.state(), 15, "coast-forward must rebuild mid-interval state");
         while !lp1.next_time().is_inf() {
-            lp1.execute_next(&app, &mut stats, &mut outbox);
+            lp1.execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         }
         assert_eq!(*lp1.state(), 155);
     }
@@ -823,11 +890,23 @@ mod tests {
             msg: v,
         };
         let mut seen = std::collections::HashSet::new();
-        lps[1].receive(&app, Transmission::Positive(mk(1, 5, 2)), &mut stats, &mut outbox);
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
-        lps[1].receive(&app, Transmission::Positive(mk(2, 3, 4)), &mut stats, &mut outbox);
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
-        lps[1].execute_next(&app, &mut stats, &mut outbox);
+        lps[1].receive(
+            &app,
+            Transmission::Positive(mk(1, 5, 2)),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
+        lps[1].receive(
+            &app,
+            Transmission::Positive(mk(2, 3, 4)),
+            &mut stats,
+            &mut outbox,
+            &mut NoProbe,
+        );
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
+        lps[1].execute_next(&app, &mut stats, &mut outbox, &mut NoProbe);
         for tx in &outbox {
             if let Transmission::Positive(e) = tx {
                 assert!(seen.insert(e.id), "duplicate id {:?}", e.id);

@@ -75,20 +75,15 @@ impl Application for Phold {
     }
 
     fn init_state(&self, lp: LpId) -> PholdState {
-        let mixed = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(lp) + 1));
+        let mixed =
+            self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(lp) + 1));
         PholdState { handled: 0, rng: mixed | 1 }
     }
 
     fn init_events(&self, lp: LpId, state: &mut PholdState, sink: &mut EventSink<u64>) {
         for j in 0..self.population_per_lp {
             let delay = 1 + xorshift(&mut state.rng) % (2 * self.mean_delay);
-            sink.schedule_at(
-                lp,
-                VTime(delay),
-                u64::from(lp) * 10_000 + j as u64,
-            );
+            sink.schedule_at(lp, VTime(delay), u64::from(lp) * 10_000 + j as u64);
         }
     }
 
@@ -119,8 +114,7 @@ impl Application for Phold {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::platform::{run_platform, PlatformConfig};
-    use crate::sequential::run_sequential;
+    use crate::sim::{Backend, Simulator};
 
     fn round_robin(n: usize, k: usize) -> Vec<u32> {
         (0..n).map(|i| (i % k) as u32).collect()
@@ -129,7 +123,7 @@ mod tests {
     #[test]
     fn sequential_run_conserves_jobs() {
         let model = Phold { lps: 16, horizon: 300, ..Default::default() };
-        let res = run_sequential(&model);
+        let res = Simulator::new(&model).run(Backend::Sequential).unwrap();
         let handled: u64 = res.states.iter().map(|s| s.handled).sum();
         assert_eq!(handled, res.stats.events_processed);
         assert!(handled > 500, "PHOLD must generate sustained load, got {handled}");
@@ -138,15 +132,11 @@ mod tests {
     #[test]
     fn platform_matches_sequential() {
         let model = Phold { lps: 24, horizon: 200, ..Default::default() };
-        let seq = run_sequential(&model);
+        let seq = Simulator::new(&model).run(Backend::Sequential).unwrap();
         for nodes in [2, 4] {
-            let res = run_platform(
-                &model,
-                &round_robin(24, nodes),
-                nodes,
-                &PlatformConfig::default(),
-            )
-            .unwrap();
+            let res = Simulator::new(&model)
+                .run(Backend::Platform { assignment: &round_robin(24, nodes), nodes })
+                .unwrap();
             assert_eq!(res.states, seq.states, "{nodes}-node PHOLD diverged");
         }
     }
@@ -154,20 +144,13 @@ mod tests {
     #[test]
     fn locality_controls_remote_traffic() {
         let mk = |pct| Phold { lps: 24, horizon: 200, locality_pct: pct, ..Default::default() };
-        let local = run_platform(
-            &mk(90),
-            &round_robin(24, 4),
-            4,
-            &PlatformConfig::default(),
-        )
-        .unwrap();
-        let remote = run_platform(
-            &mk(10),
-            &round_robin(24, 4),
-            4,
-            &PlatformConfig::default(),
-        )
-        .unwrap();
+        let run = |m: &Phold| {
+            Simulator::new(m)
+                .run(Backend::Platform { assignment: &round_robin(24, 4), nodes: 4 })
+                .unwrap()
+        };
+        let local = run(&mk(90));
+        let remote = run(&mk(10));
         assert!(
             local.stats.app_messages * 2 < remote.stats.app_messages,
             "locality 90% sent {} vs locality 10% {}",
@@ -179,10 +162,11 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let model = Phold { lps: 16, horizon: 150, ..Default::default() };
-        let a = run_platform(&model, &round_robin(16, 3), 3, &PlatformConfig::default())
-            .unwrap();
-        let b = run_platform(&model, &round_robin(16, 3), 3, &PlatformConfig::default())
-            .unwrap();
+        let asg = round_robin(16, 3);
+        let a =
+            Simulator::new(&model).run(Backend::Platform { assignment: &asg, nodes: 3 }).unwrap();
+        let b =
+            Simulator::new(&model).run(Backend::Platform { assignment: &asg, nodes: 3 }).unwrap();
         assert_eq!(a.states, b.states);
         assert_eq!(a.stats, b.stats);
     }
@@ -190,13 +174,10 @@ mod tests {
     #[test]
     fn threaded_matches_sequential() {
         let model = Phold { lps: 16, horizon: 150, ..Default::default() };
-        let seq = run_sequential(&model);
-        let res = crate::threaded::run_threaded(
-            &model,
-            &round_robin(16, 2),
-            2,
-            &crate::config::KernelConfig::default(),
-        );
+        let seq = Simulator::new(&model).run(Backend::Sequential).unwrap();
+        let res = Simulator::new(&model)
+            .run(Backend::Threaded { assignment: &round_robin(16, 2), clusters: 2 })
+            .unwrap();
         assert_eq!(res.states, seq.states);
     }
 }

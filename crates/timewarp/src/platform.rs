@@ -19,16 +19,17 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::app::Application;
-use crate::config::KernelConfig;
+use crate::config::{ConfigError, KernelConfig};
 use crate::cost::CostModel;
 use crate::event::{LpId, Transmission};
 use crate::lp::LpRuntime;
-use crate::stats::{KernelStats, LpCounters};
+use crate::probe::{NoProbe, Probe};
+use crate::sim::{Outcome, RunReport, SimError};
+use crate::stats::KernelStats;
 use crate::time::VTime;
 
 /// Platform-level configuration.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PlatformConfig {
     /// Time Warp kernel knobs (cancellation, checkpointing, GVT period).
     pub kernel: KernelConfig,
@@ -40,8 +41,61 @@ pub struct PlatformConfig {
     pub state_limit_per_node: Option<u64>,
 }
 
+impl PlatformConfig {
+    /// Start a validated builder (preferred over struct literals: invalid
+    /// values are rejected with a [`ConfigError`] instead of silently
+    /// clamped).
+    pub fn builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder { cfg: PlatformConfig::default() }
+    }
+}
+
+/// Validated builder for [`PlatformConfig`]; see [`PlatformConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct PlatformConfigBuilder {
+    cfg: PlatformConfig,
+}
+
+impl PlatformConfigBuilder {
+    /// Set the Time Warp kernel knobs (validated at [`Self::build`]).
+    pub fn kernel(mut self, kernel: KernelConfig) -> Self {
+        self.cfg.kernel = kernel;
+        self
+    }
+
+    /// Set the CPU/network cost model (validated at [`Self::build`]).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Abort when a node holds more than `limit` checkpoints at a GVT
+    /// round (`None` = unbounded memory).
+    pub fn state_limit_per_node(mut self, limit: Option<u64>) -> Self {
+        self.cfg.state_limit_per_node = limit;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<PlatformConfig, ConfigError> {
+        if self.cfg.kernel.checkpoint_interval == 0 {
+            return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        if self.cfg.kernel.gvt_period == 0 {
+            return Err(ConfigError::ZeroGvtPeriod);
+        }
+        if self.cfg.cost.event_exec_ns == 0 {
+            return Err(ConfigError::ZeroCost("event_exec_ns"));
+        }
+        if self.cfg.cost.seq_event_ns == 0 {
+            return Err(ConfigError::ZeroCost("seq_event_ns"));
+        }
+        Ok(self.cfg)
+    }
+}
 
 /// Why a platform run ended without a result.
+#[deprecated(since = "0.2.0", note = "use `SimError` via the `Simulator` API")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlatformError {
     /// A node exceeded [`PlatformConfig::state_limit_per_node`].
@@ -53,6 +107,7 @@ pub enum PlatformError {
     },
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for PlatformError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -63,9 +118,14 @@ impl std::fmt::Display for PlatformError {
     }
 }
 
+#[allow(deprecated)]
 impl std::error::Error for PlatformError {}
 
 /// Result of a virtual-platform run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunReport` via `Simulator::new(app).run(Backend::Platform { .. })`"
+)]
 #[derive(Debug)]
 pub struct PlatformResult<A: Application> {
     /// Aggregated Time Warp statistics.
@@ -76,7 +136,7 @@ pub struct PlatformResult<A: Application> {
     /// Final clock of every node, in nanoseconds.
     pub node_clocks_ns: Vec<u64>,
     /// Per-LP counters (rollback/load hotspots).
-    pub lp_stats: Vec<LpCounters>,
+    pub lp_stats: Vec<crate::stats::LpCounters>,
     /// Final committed state of every LP.
     pub states: Vec<A::State>,
 }
@@ -98,15 +158,62 @@ struct Flight<M> {
 
 /// Run `app` on `nodes` simulated workstations with the given LP→node
 /// assignment (`assignment[lp] = node`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::new(app).platform_config(&cfg).run(Backend::Platform { .. })`"
+)]
+#[allow(deprecated)]
 pub fn run_platform<A: Application>(
     app: &A,
     assignment: &[u32],
     nodes: usize,
     cfg: &PlatformConfig,
 ) -> Result<PlatformResult<A>, PlatformError> {
-    assert_eq!(assignment.len(), app.num_lps());
-    assert!(nodes >= 1);
-    assert!(assignment.iter().all(|&n| (n as usize) < nodes));
+    match platform_core(app, assignment, nodes, cfg, &mut NoProbe) {
+        Ok(report) => {
+            let (exec_time_s, node_clocks_ns) = match report.outcome {
+                Outcome::Platform { exec_time_s, node_clocks_ns } => (exec_time_s, node_clocks_ns),
+                _ => unreachable!("platform core reports a platform outcome"),
+            };
+            Ok(PlatformResult {
+                stats: report.stats,
+                exec_time_s,
+                node_clocks_ns,
+                lp_stats: report.lp_stats,
+                states: report.states,
+            })
+        }
+        Err(SimError::OutOfMemory { node, states_held }) => {
+            Err(PlatformError::OutOfMemory { node, states_held })
+        }
+        // The old API surfaced bad arguments as panics; preserve that.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The executive proper, generic over the telemetry probe.
+pub(crate) fn platform_core<A: Application, P: Probe>(
+    app: &A,
+    assignment: &[u32],
+    nodes: usize,
+    cfg: &PlatformConfig,
+    probe: &mut P,
+) -> Result<RunReport<A>, SimError> {
+    if assignment.len() != app.num_lps() {
+        return Err(SimError::InvalidConfig(format!(
+            "assignment covers {} LPs but the application has {}",
+            assignment.len(),
+            app.num_lps()
+        )));
+    }
+    if nodes == 0 {
+        return Err(SimError::InvalidConfig("node count must be >= 1".into()));
+    }
+    if let Some(&bad) = assignment.iter().find(|&&n| (n as usize) >= nodes) {
+        return Err(SimError::InvalidConfig(format!(
+            "assignment targets node {bad} but only {nodes} nodes exist"
+        )));
+    }
     let kernel = cfg.kernel.normalized();
     let cost = cfg.cost;
 
@@ -119,9 +226,8 @@ pub fn run_platform<A: Application>(
         .map(|i| LpRuntime::new(app, i, kernel, &mut init_events))
         .collect();
 
-    let mut node_state: Vec<Node> = (0..nodes)
-        .map(|_| Node { clock_ns: 0, ready: BinaryHeap::new(), batches: 0 })
-        .collect();
+    let mut node_state: Vec<Node> =
+        (0..nodes).map(|_| Node { clock_ns: 0, ready: BinaryHeap::new(), batches: 0 }).collect();
 
     let mut net: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
     let mut flights: std::collections::HashMap<usize, Flight<A::Msg>> =
@@ -136,7 +242,7 @@ pub fn run_platform<A: Application>(
     // framework partitions after elaboration; setup cost is not measured).
     for ev in init_events {
         let dst = ev.dst;
-        lps[dst as usize].receive(app, Transmission::Positive(ev), &mut stats, &mut outbox);
+        lps[dst as usize].receive(app, Transmission::Positive(ev), &mut stats, &mut outbox, probe);
         debug_assert!(outbox.is_empty(), "init events cannot roll anything back");
         let nt = lps[dst as usize].next_time();
         if !nt.is_inf() {
@@ -163,7 +269,7 @@ pub fn run_platform<A: Application>(
                     node_state[$from].clock_ns += cost.local_enqueue_ns;
                     // Local delivery is immediate; it may trigger a local
                     // (secondary) rollback whose antis land back in outbox.
-                    lps[dst].receive(app, tx, &mut stats, &mut outbox);
+                    lps[dst].receive(app, tx, &mut stats, &mut outbox, probe);
                     let nt = lps[dst].next_time();
                     if !nt.is_inf() {
                         node_state[dst_node].ready.push(Reverse((nt, dst as LpId)));
@@ -174,6 +280,7 @@ pub fn run_platform<A: Application>(
                     } else {
                         stats.anti_messages_remote += 1;
                     }
+                    probe.remote_message(tx.is_positive(), tx.recv_time());
                     node_state[$from].clock_ns += cost.msg_send_ns;
                     let wire_at = node_state[$from].clock_ns + cost.net_latency_ns;
                     let arrive = wire_at.max(link_free_ns[dst_node]) + cost.msg_wire_ns;
@@ -240,13 +347,11 @@ pub fn run_platform<A: Application>(
                     let rb_before = stats.rollbacks();
                     let undone_before = stats.events_rolled_back;
                     let coasted_before = stats.events_coasted;
-                    lps[dst].receive(app, flight.tx, &mut stats, &mut outbox);
+                    lps[dst].receive(app, flight.tx, &mut stats, &mut outbox, probe);
                     if stats.rollbacks() > rb_before {
                         node.clock_ns += cost.rollback_ns
-                            + cost.undo_per_event_ns
-                                * (stats.events_rolled_back - undone_before)
-                            + cost.event_exec_ns
-                                * (stats.events_coasted - coasted_before);
+                            + cost.undo_per_event_ns * (stats.events_rolled_back - undone_before)
+                            + cost.event_exec_ns * (stats.events_coasted - coasted_before);
                     }
                     let nt = lps[dst].next_time();
                     if !nt.is_inf() {
@@ -259,7 +364,7 @@ pub fn run_platform<A: Application>(
                     debug_assert_eq!(lps[lp as usize].next_time(), t);
                     let pe_before = stats.events_processed;
                     let saves_before = stats.states_saved;
-                    lps[lp as usize].execute_next(app, &mut stats, &mut outbox);
+                    lps[lp as usize].execute_next(app, &mut stats, &mut outbox, probe);
                     let batch = stats.events_processed - pe_before;
                     node_state[ni].clock_ns += cost.batch_overhead_ns
                         + cost.event_exec_ns * batch
@@ -280,27 +385,20 @@ pub fn run_platform<A: Application>(
         if batches_since_gvt >= gvt_every || force_gvt {
             batches_since_gvt = 0;
             force_gvt = false;
-            let in_flight = flights
-                .values()
-                .map(|f| f.tx.recv_time())
-                .min()
-                .unwrap_or(VTime::INF);
-            let gvt = lps
-                .iter()
-                .map(|l| l.local_min())
-                .min()
-                .unwrap_or(VTime::INF)
-                .min(in_flight);
+            let in_flight = flights.values().map(|f| f.tx.recv_time()).min().unwrap_or(VTime::INF);
+            let gvt = lps.iter().map(|l| l.local_min()).min().unwrap_or(VTime::INF).min(in_flight);
             last_gvt = gvt;
             stats.gvt_rounds += 1;
             let mut held_total = 0u64;
+            let mut pending_total = 0u64;
             let mut per_node = vec![0u64; nodes];
             for lp in &mut lps {
-                lp.fossil_collect(gvt, &mut stats);
+                lp.fossil_collect(gvt, &mut stats, probe);
             }
             for (i, lp) in lps.iter().enumerate() {
                 let h = lp.state_queue_len() as u64;
                 held_total += h;
+                pending_total += lp.pending_len() as u64;
                 per_node[assignment[i] as usize] += h;
             }
             stats.state_queue_high_water = stats.state_queue_high_water.max(held_total);
@@ -308,13 +406,12 @@ pub fn run_platform<A: Application>(
                 ns.clock_ns += cost.gvt_round_ns;
                 if let Some(limit) = cfg.state_limit_per_node {
                     if per_node[i] > limit {
-                        return Err(PlatformError::OutOfMemory {
-                            node: i,
-                            states_held: per_node[i],
-                        });
+                        return Err(SimError::OutOfMemory { node: i, states_held: per_node[i] });
                     }
                 }
             }
+            let round_clock = node_state.iter().map(|n| n.clock_ns).max().unwrap_or(0);
+            probe.gvt_advanced(gvt, held_total, pending_total, round_clock);
         }
     }
 
@@ -330,17 +427,20 @@ pub fn run_platform<A: Application>(
     }
     stats.state_queue_high_water = stats.state_queue_high_water.max(held_total);
     for lp in &mut lps {
-        lp.fossil_collect(VTime::INF, &mut stats);
+        lp.fossil_collect(VTime::INF, &mut stats, probe);
     }
     stats.final_gvt = VTime::INF;
 
     let max_clock = node_state.iter().map(|n| n.clock_ns).max().unwrap_or(0);
-    Ok(PlatformResult {
+    Ok(RunReport {
         stats,
-        exec_time_s: max_clock as f64 / 1e9,
-        node_clocks_ns: node_state.iter().map(|n| n.clock_ns).collect(),
         lp_stats: lps.iter().map(|lp| lp.own_stats()).collect(),
         states: lps.into_iter().map(|lp| lp.into_state()).collect(),
+        outcome: Outcome::Platform {
+            exec_time_s: max_clock as f64 / 1e9,
+            node_clocks_ns: node_state.iter().map(|n| n.clock_ns).collect(),
+        },
+        telemetry: None,
     })
 }
 
@@ -354,7 +454,7 @@ pub fn sequential_modeled_time_s(events: u64, cost: &CostModel) -> f64 {
 mod tests {
     use super::*;
     use crate::app::EventSink;
-    use crate::sequential::run_sequential;
+    use crate::sim::{Backend, Simulator};
 
     /// A ring of LPs passing tokens with per-hop jitter in virtual time:
     /// enough structure for cross-node causality violations.
@@ -399,18 +499,22 @@ mod tests {
         (0..n).map(|i| (i % nodes) as u32).collect()
     }
 
+    fn platform<A: Application>(
+        app: &A,
+        assignment: &[u32],
+        nodes: usize,
+        cfg: &PlatformConfig,
+    ) -> Result<RunReport<A>, SimError> {
+        Simulator::new(app).platform_config(cfg).run(Backend::Platform { assignment, nodes })
+    }
+
     #[test]
     fn matches_sequential_states() {
         let app = Ring { n: 12, hops: 40 };
-        let seq = run_sequential(&app);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
         for nodes in [1, 2, 3, 4] {
-            let res = run_platform(
-                &app,
-                &round_robin(12, nodes),
-                nodes,
-                &PlatformConfig::default(),
-            )
-            .unwrap();
+            let res =
+                platform(&app, &round_robin(12, nodes), nodes, &PlatformConfig::default()).unwrap();
             assert_eq!(res.states, seq.states, "{nodes}-node platform diverged");
             assert_eq!(res.stats.events_committed, seq.stats.events_processed);
         }
@@ -421,8 +525,7 @@ mod tests {
         // With several nodes and skewed costs, optimism must misfire
         // somewhere — otherwise the test proves nothing.
         let app = Ring { n: 12, hops: 60 };
-        let res =
-            run_platform(&app, &round_robin(12, 4), 4, &PlatformConfig::default()).unwrap();
+        let res = platform(&app, &round_robin(12, 4), 4, &PlatformConfig::default()).unwrap();
         assert!(res.stats.rollbacks() > 0, "expected at least one rollback");
         assert!(res.stats.app_messages > 0);
     }
@@ -430,8 +533,7 @@ mod tests {
     #[test]
     fn single_node_never_rolls_back() {
         let app = Ring { n: 12, hops: 40 };
-        let res =
-            run_platform(&app, &round_robin(12, 1), 1, &PlatformConfig::default()).unwrap();
+        let res = platform(&app, &round_robin(12, 1), 1, &PlatformConfig::default()).unwrap();
         assert_eq!(res.stats.rollbacks(), 0);
         assert_eq!(res.stats.app_messages, 0, "no remote messages on one node");
     }
@@ -439,54 +541,51 @@ mod tests {
     #[test]
     fn deterministic() {
         let app = Ring { n: 10, hops: 30 };
-        let a = run_platform(&app, &round_robin(10, 3), 3, &PlatformConfig::default()).unwrap();
-        let b = run_platform(&app, &round_robin(10, 3), 3, &PlatformConfig::default()).unwrap();
+        let a = platform(&app, &round_robin(10, 3), 3, &PlatformConfig::default()).unwrap();
+        let b = platform(&app, &round_robin(10, 3), 3, &PlatformConfig::default()).unwrap();
         assert_eq!(a.stats, b.stats);
-        assert_eq!(a.node_clocks_ns, b.node_clocks_ns);
+        assert_eq!(a.outcome.node_clocks_ns(), b.outcome.node_clocks_ns());
     }
 
     #[test]
     fn lazy_cancellation_also_matches_sequential() {
         let app = Ring { n: 12, hops: 40 };
-        let seq = run_sequential(&app);
-        let cfg = PlatformConfig {
-            kernel: KernelConfig {
-                cancellation: crate::config::Cancellation::Lazy,
-                ..Default::default()
-            },
-            ..Default::default()
-        };
-        let res = run_platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let cfg = PlatformConfig::builder()
+            .kernel(
+                KernelConfig::builder()
+                    .cancellation(crate::config::Cancellation::Lazy)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let res = platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
         assert_eq!(res.states, seq.states);
     }
 
     #[test]
     fn sparse_checkpoints_also_match_sequential() {
         let app = Ring { n: 12, hops: 40 };
-        let seq = run_sequential(&app);
-        let cfg = PlatformConfig {
-            kernel: KernelConfig { checkpoint_interval: 4, ..Default::default() },
-            ..Default::default()
-        };
-        let res = run_platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let cfg = PlatformConfig::builder()
+            .kernel(KernelConfig::builder().checkpoint_interval(4).build().unwrap())
+            .build()
+            .unwrap();
+        let res = platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
         assert_eq!(res.states, seq.states);
     }
 
     #[test]
     fn bounded_window_matches_sequential_and_throttles_rollbacks() {
         let app = Ring { n: 12, hops: 60 };
-        let seq = run_sequential(&app);
-        let free = run_platform(&app, &round_robin(12, 4), 4, &PlatformConfig::default())
-            .unwrap();
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let free = platform(&app, &round_robin(12, 4), 4, &PlatformConfig::default()).unwrap();
         let cfg = PlatformConfig {
-            kernel: KernelConfig {
-                window: Some(3),
-                gvt_period: 8,
-                ..Default::default()
-            },
+            kernel: KernelConfig { window: Some(3), gvt_period: 8, ..Default::default() },
             ..Default::default()
         };
-        let tight = run_platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
+        let tight = platform(&app, &round_robin(12, 4), 4, &cfg).unwrap();
         assert_eq!(tight.states, seq.states, "throttling must not change results");
         assert!(
             tight.stats.rollbacks() <= free.stats.rollbacks(),
@@ -502,12 +601,12 @@ mod tests {
         // window = 0: only events at exactly GVT may run — lock-step,
         // rollback-free execution.
         let app = Ring { n: 10, hops: 40 };
-        let seq = run_sequential(&app);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
         let cfg = PlatformConfig {
             kernel: KernelConfig { window: Some(0), gvt_period: 4, ..Default::default() },
             ..Default::default()
         };
-        let res = run_platform(&app, &round_robin(10, 4), 4, &cfg).unwrap();
+        let res = platform(&app, &round_robin(10, 4), 4, &cfg).unwrap();
         assert_eq!(res.states, seq.states);
         assert_eq!(res.stats.rollbacks(), 0, "zero window admits no stragglers");
     }
@@ -517,12 +616,13 @@ mod tests {
         // Partitioners can leave nodes empty on tiny inputs; the platform
         // must still terminate and produce the same history.
         let app = Ring { n: 6, hops: 20 };
-        let seq = run_sequential(&app);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
         let assignment: Vec<u32> = (0..6).map(|_| 0).collect(); // all on node 0 of 4
-        let res = run_platform(&app, &assignment, 4, &PlatformConfig::default()).unwrap();
+        let res = platform(&app, &assignment, 4, &PlatformConfig::default()).unwrap();
         assert_eq!(res.states, seq.states);
         assert_eq!(res.stats.app_messages, 0);
-        assert_eq!(res.node_clocks_ns[1], 0, "empty nodes never advance");
+        let clocks = res.outcome.node_clocks_ns().unwrap();
+        assert_eq!(clocks[1], 0, "empty nodes never advance");
     }
 
     #[test]
@@ -533,8 +633,26 @@ mod tests {
             kernel: KernelConfig { gvt_period: 4, ..Default::default() },
             ..Default::default()
         };
-        let err = run_platform(&app, &round_robin(16, 4), 4, &cfg).unwrap_err();
-        assert!(matches!(err, PlatformError::OutOfMemory { .. }));
+        let err = platform(&app, &round_robin(16, 4), 4, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn invalid_assignment_is_rejected() {
+        let app = Ring { n: 6, hops: 10 };
+        let short = vec![0u32; 3]; // wrong length
+        let err = platform(&app, &short, 2, &PlatformConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        let oob = vec![5u32; 6]; // node index out of range
+        let err = platform(&app, &oob, 2, &PlatformConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_rejects_zero_cost_fields() {
+        let cost = CostModel { event_exec_ns: 0, ..Default::default() };
+        let err = PlatformConfig::builder().cost(cost).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCost("event_exec_ns"));
     }
 
     #[test]
@@ -572,12 +690,16 @@ mod tests {
             }
         }
         let app = Pairs { n: 8 };
-        let t1 = run_platform(&app, &round_robin(8, 1), 1, &PlatformConfig::default())
+        let t1 = platform(&app, &round_robin(8, 1), 1, &PlatformConfig::default())
             .unwrap()
-            .exec_time_s;
-        let t4 = run_platform(&app, &round_robin(8, 4), 4, &PlatformConfig::default())
+            .outcome
+            .exec_time_s()
+            .unwrap();
+        let t4 = platform(&app, &round_robin(8, 4), 4, &PlatformConfig::default())
             .unwrap()
-            .exec_time_s;
+            .outcome
+            .exec_time_s()
+            .unwrap();
         assert!(t4 < t1 / 2.5, "4 nodes should cut independent work ~4x: {t1} vs {t4}");
     }
 }

@@ -2,15 +2,18 @@
 //! column of Table 2) and the determinism oracle for the optimistic
 //! executives.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::app::{Application, EventSink};
 use crate::event::{EventId, LpId};
-use crate::stats::KernelStats;
+use crate::probe::{NoProbe, Probe};
+use crate::sim::{Outcome, RunReport};
+use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
 
 /// Result of a sequential run.
+#[deprecated(since = "0.2.0", note = "use `Simulator::new(app).run(Backend::Sequential)`")]
 #[derive(Debug)]
 pub struct SequentialResult<A: Application> {
     /// Final state of every LP.
@@ -24,10 +27,26 @@ pub struct SequentialResult<A: Application> {
 
 /// Run an application to event exhaustion with a single global event
 /// queue, always executing the globally lowest timestamp. Deterministic.
+#[deprecated(since = "0.2.0", note = "use `Simulator::new(app).run(Backend::Sequential)`")]
+#[allow(deprecated)]
 pub fn run_sequential<A: Application>(app: &A) -> SequentialResult<A> {
+    let report = sequential_core(app, &mut NoProbe);
+    let end_time = match report.outcome {
+        Outcome::Sequential { end_time } => end_time,
+        _ => unreachable!("sequential core reports a sequential outcome"),
+    };
+    SequentialResult { states: report.states, stats: report.stats, end_time }
+}
+
+/// The executive proper, generic over the telemetry probe. Every batch is
+/// committed the moment it executes (a sequential run cannot roll back),
+/// so the probe sees `batch_executed` + `fossil_collected` pairs and
+/// nothing else.
+pub(crate) fn sequential_core<A: Application, P: Probe>(app: &A, probe: &mut P) -> RunReport<A> {
     let n = app.num_lps();
     let mut states: Vec<A::State> = (0..n as LpId).map(|i| app.init_state(i)).collect();
     let mut stats = KernelStats::default();
+    let mut lp_stats: Vec<LpCounters> = vec![LpCounters::default(); n];
 
     // Global queue keyed by (recv_time, dst, src-id) so batch grouping and
     // in-batch order are deterministic.
@@ -39,13 +58,13 @@ pub fn run_sequential<A: Application>(app: &A) -> SequentialResult<A> {
     let mut seqs: Vec<u64> = vec![0; n];
 
     let push = |heap: &mut BinaryHeap<Reverse<(Key, u64)>>,
-                    payloads: &mut std::collections::HashMap<u64, (LpId, VTime, LpId, A::Msg)>,
-                    uid: &mut u64,
-                    seqs: &mut [u64],
-                    src: LpId,
-                    dst: LpId,
-                    at: VTime,
-                    msg: A::Msg| {
+                payloads: &mut std::collections::HashMap<u64, (LpId, VTime, LpId, A::Msg)>,
+                uid: &mut u64,
+                seqs: &mut [u64],
+                src: LpId,
+                dst: LpId,
+                at: VTime,
+                msg: A::Msg| {
         let id = EventId { src, seq: seqs[src as usize] };
         seqs[src as usize] += 1;
         heap.push(Reverse(((at, dst, id), *uid)));
@@ -80,19 +99,29 @@ pub fn run_sequential<A: Application>(app: &A) -> SequentialResult<A> {
         stats.batches_executed += 1;
         stats.events_processed += batch.len() as u64;
         stats.events_committed += batch.len() as u64;
+        lp_stats[dst as usize].events_processed += batch.len() as u64;
+        probe.batch_executed(dst, t, batch.len() as u64);
+        probe.fossil_collected(dst, t, batch.len() as u64);
         end_time = t;
         for (d2, at, msg) in sink.out {
             push(&mut heap, &mut payloads, &mut uid, &mut seqs, dst, d2, at, msg);
         }
     }
     stats.final_gvt = VTime::INF;
-    SequentialResult { states, stats, end_time }
+    RunReport {
+        stats,
+        states,
+        lp_stats,
+        outcome: Outcome::Sequential { end_time },
+        telemetry: None,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::app::EventSink;
+    use crate::sim::{Backend, Simulator};
 
     /// Ping-pong: two LPs bounce a decrementing counter.
     struct PingPong {
@@ -132,12 +161,12 @@ mod tests {
 
     #[test]
     fn ping_pong_counts_messages() {
-        let res = run_sequential(&PingPong { start: 9 });
+        let res = Simulator::new(&PingPong { start: 9 }).run(Backend::Sequential).unwrap();
         assert_eq!(res.stats.events_processed, 10);
         assert_eq!(res.stats.rollbacks(), 0);
         // LP1 receives messages 9,7,5,3,1 → 5; LP0 receives 8,6,4,2,0 → 5.
         assert_eq!(res.states, vec![5, 5]);
-        assert_eq!(res.end_time, VTime(1 + 9 * 3));
+        assert_eq!(res.outcome.end_time(), Some(VTime(1 + 9 * 3)));
     }
 
     /// Simultaneous events to the same LP arrive as one batch.
@@ -172,7 +201,7 @@ mod tests {
 
     #[test]
     fn simultaneous_events_form_one_batch() {
-        let res = run_sequential(&BatchCheck);
+        let res = Simulator::new(&BatchCheck).run(Backend::Sequential).unwrap();
         assert_eq!(res.states[2], vec![2], "both t=10 events must arrive together");
         assert_eq!(res.stats.batches_executed, 1);
     }
@@ -198,8 +227,19 @@ mod tests {
             ) {
             }
         }
-        let res = run_sequential(&Idle);
+        let res = Simulator::new(&Idle).run(Backend::Sequential).unwrap();
         assert_eq!(res.stats.events_processed, 0);
-        assert_eq!(res.end_time, VTime::ZERO);
+        assert_eq!(res.outcome.end_time(), Some(VTime::ZERO));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_new_api() {
+        let app = PingPong { start: 9 };
+        let old = run_sequential(&app);
+        let new = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        assert_eq!(old.states, new.states);
+        assert_eq!(old.stats, new.stats);
+        assert_eq!(Some(old.end_time), new.outcome.end_time());
     }
 }

@@ -106,11 +106,7 @@ mod tests {
     fn efficiency_bounds() {
         let s = KernelStats::default();
         assert_eq!(s.efficiency(), 1.0);
-        let s = KernelStats {
-            events_processed: 10,
-            events_committed: 7,
-            ..Default::default()
-        };
+        let s = KernelStats { events_processed: 10, events_committed: 7, ..Default::default() };
         assert!((s.efficiency() - 0.7).abs() < 1e-9);
     }
 

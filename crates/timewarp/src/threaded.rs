@@ -1,27 +1,38 @@
 //! Threaded executive: one OS thread per WARPED "cluster", real
-//! concurrency, crossbeam channels between clusters, and a synchronized
-//! (flush-and-barrier) GVT in the style of Samadi's algorithm — the
-//! acknowledgment phase is replaced by a cooperative flush, which is exact
-//! on reliable in-process channels.
+//! concurrency, `std::sync::mpsc` channels between clusters, and a
+//! synchronized (flush-and-barrier) GVT in the style of Samadi's algorithm
+//! — the acknowledgment phase is replaced by a cooperative flush, which is
+//! exact on reliable in-process channels.
 //!
 //! This executive exists for machines with real parallel hardware; the
 //! experiment harness uses the deterministic [`crate::platform`] executive
 //! instead (measured wall-clock on an arbitrary CI box is noise, and the
 //! build machine for this reproduction has a single core).
+//!
+//! Telemetry: the root probe is [`Probe::fork`]ed once per cluster, each
+//! cluster thread feeds its own child (no locking on the hot path), and
+//! the children are [`Probe::join`]ed back in cluster-id order — so a
+//! recording probe sees a deterministic merge even though thread
+//! interleavings differ run to run.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::app::Application;
 use crate::config::KernelConfig;
 use crate::event::{LpId, Transmission};
 use crate::lp::LpRuntime;
-use crate::stats::KernelStats;
+use crate::probe::{NoProbe, Probe};
+use crate::sim::{Outcome, RunReport};
+use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
 
 /// Result of a threaded run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunReport` via `Simulator::new(app).run(Backend::Threaded { .. })`"
+)]
 #[derive(Debug)]
 pub struct ThreadedResult<A: Application> {
     /// Merged statistics from all clusters.
@@ -32,9 +43,10 @@ pub struct ThreadedResult<A: Application> {
     pub wall: std::time::Duration,
 }
 
-/// What one cluster thread returns: its id, its statistics, and the final
-/// states of its LPs.
-type ClusterOutcome<A> = (usize, KernelStats, Vec<(LpId, <A as Application>::State)>);
+/// What one cluster thread returns: its id, its statistics, the final
+/// states and counters of its LPs, and its child probe.
+type ClusterOutcome<A, P> =
+    (usize, KernelStats, Vec<(LpId, <A as Application>::State, LpCounters)>, P);
 
 /// Shared GVT coordination state.
 struct GvtShared {
@@ -51,22 +63,44 @@ struct GvtShared {
 
 /// Run `app` on `clusters` OS threads with the given LP→cluster
 /// assignment. Blocks until the simulation terminates (GVT = ∞).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::new(app).config(cfg).run(Backend::Threaded { .. })`"
+)]
+#[allow(deprecated)]
 pub fn run_threaded<A: Application>(
     app: &A,
     assignment: &[u32],
     clusters: usize,
     cfg: &KernelConfig,
 ) -> ThreadedResult<A> {
+    let report = threaded_core(app, assignment, clusters, cfg, &mut NoProbe);
+    let wall = match report.outcome {
+        Outcome::Threaded { wall } => wall,
+        _ => unreachable!("threaded core reports a threaded outcome"),
+    };
+    ThreadedResult { stats: report.stats, states: report.states, wall }
+}
+
+/// The executive proper, generic over the telemetry probe.
+pub(crate) fn threaded_core<A: Application, P: Probe>(
+    app: &A,
+    assignment: &[u32],
+    clusters: usize,
+    cfg: &KernelConfig,
+    probe: &mut P,
+) -> RunReport<A> {
     assert_eq!(assignment.len(), app.num_lps());
     assert!(clusters >= 1);
     assert!(assignment.iter().all(|&c| (c as usize) < clusters));
     let cfg = cfg.normalized();
 
-    // Channels: one receiver per cluster, senders shared by everyone.
+    // Channels: one receiver per cluster (moved into its thread), senders
+    // shared by everyone.
     let mut senders: Vec<Sender<Transmission<A::Msg>>> = Vec::with_capacity(clusters);
     let mut receivers: Vec<Receiver<Transmission<A::Msg>>> = Vec::with_capacity(clusters);
     for _ in 0..clusters {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -82,9 +116,8 @@ pub fn run_threaded<A: Application>(
     // Build LPs and seed init events through the channels so every cluster
     // starts with its inbox populated.
     let mut init_events = Vec::new();
-    let lps: Vec<LpRuntime<A>> = (0..app.num_lps() as LpId)
-        .map(|i| LpRuntime::new(app, i, cfg, &mut init_events))
-        .collect();
+    let lps: Vec<LpRuntime<A>> =
+        (0..app.num_lps() as LpId).map(|i| LpRuntime::new(app, i, cfg, &mut init_events)).collect();
     for ev in init_events {
         let c = assignment[ev.dst as usize] as usize;
         senders[c].send(Transmission::Positive(ev)).expect("receiver alive");
@@ -96,18 +129,18 @@ pub fn run_threaded<A: Application>(
     }
 
     let started = std::time::Instant::now();
-    let mut joined: Vec<ClusterOutcome<A>> = Vec::new();
+    let mut joined: Vec<ClusterOutcome<A, P>> = Vec::new();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(clusters);
-        for (cid, lps) in per_cluster_lps.into_iter().enumerate() {
+        for ((cid, lps), rx) in per_cluster_lps.into_iter().enumerate().zip(receivers) {
             let senders = senders.clone();
-            let rx = receivers[cid].clone();
             let shared = &shared;
             let assignment = &assignment;
             let cfg = &cfg;
+            let child = probe.fork();
             handles.push(scope.spawn(move || {
-                cluster_main(app, cid, lps, senders, rx, shared, assignment, cfg)
+                cluster_main(app, cid, lps, senders, rx, shared, assignment, cfg, child, started)
             }));
         }
         for h in handles {
@@ -116,25 +149,34 @@ pub fn run_threaded<A: Application>(
     });
     let wall = started.elapsed();
 
+    // Merge in cluster-id order — deterministic regardless of which thread
+    // finished first.
+    joined.sort_by_key(|(cid, ..)| *cid);
     let mut stats = KernelStats::default();
     let mut states: Vec<Option<A::State>> = (0..app.num_lps()).map(|_| None).collect();
-    for (_cid, s, lp_states) in joined {
+    let mut lp_stats: Vec<LpCounters> = vec![LpCounters::default(); app.num_lps()];
+    for (_cid, s, lp_states, child) in joined {
         stats.merge(&s);
-        for (id, st) in lp_states {
+        for (id, st, counters) in lp_states {
             states[id as usize] = Some(st);
+            lp_stats[id as usize] = counters;
         }
+        probe.join(child);
     }
     stats.final_gvt = VTime::INF;
-    ThreadedResult {
+    RunReport {
         stats,
         states: states.into_iter().map(|s| s.expect("every LP reported")).collect(),
-        wall,
+        lp_stats,
+        outcome: Outcome::Threaded { wall },
+        telemetry: None,
     }
 }
 
 /// Route everything in `outbox`: local → direct insert (cascading
 /// by-products handled), remote → channel. Returns transmissions routed.
-fn route<A: Application>(
+#[allow(clippy::too_many_arguments)]
+fn route<A: Application, P: Probe>(
     cid: usize,
     outbox: &mut Vec<Transmission<A::Msg>>,
     table: &mut std::collections::HashMap<LpId, LpRuntime<A>>,
@@ -142,6 +184,7 @@ fn route<A: Application>(
     assignment: &[u32],
     app: &A,
     stats: &mut KernelStats,
+    probe: &mut P,
 ) -> u64 {
     let mut routed = 0;
     while let Some(tx) = outbox.pop() {
@@ -150,7 +193,7 @@ fn route<A: Application>(
         if dc == cid {
             let lp = table.get_mut(&dst).expect("local LP");
             let mut sub = Vec::new();
-            lp.receive(app, tx, stats, &mut sub);
+            lp.receive(app, tx, stats, &mut sub, probe);
             outbox.append(&mut sub);
         } else {
             if tx.is_positive() {
@@ -158,6 +201,7 @@ fn route<A: Application>(
             } else {
                 stats.anti_messages_remote += 1;
             }
+            probe.remote_message(tx.is_positive(), tx.recv_time());
             routed += 1;
             senders[dc].send(tx).expect("cluster receiver alive");
         }
@@ -166,7 +210,7 @@ fn route<A: Application>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn cluster_main<A: Application>(
+fn cluster_main<A: Application, P: Probe>(
     app: &A,
     cid: usize,
     lps: Vec<(LpId, LpRuntime<A>)>,
@@ -175,7 +219,9 @@ fn cluster_main<A: Application>(
     shared: &GvtShared,
     assignment: &[u32],
     cfg: &KernelConfig,
-) -> ClusterOutcome<A> {
+    mut probe: P,
+    started: std::time::Instant,
+) -> ClusterOutcome<A, P> {
     let mut stats = KernelStats::default();
     let mut outbox: Vec<Transmission<A::Msg>> = Vec::new();
 
@@ -195,8 +241,17 @@ fn cluster_main<A: Application>(
             let dst = tx.dst();
             debug_assert_eq!(assignment[dst as usize] as usize, cid);
             let lp = table.get_mut(&dst).expect("local LP");
-            lp.receive(app, tx, &mut stats, &mut outbox);
-            route::<A>(cid, &mut outbox, &mut table, &senders, assignment, app, &mut stats);
+            lp.receive(app, tx, &mut stats, &mut outbox, &mut probe);
+            route::<A, P>(
+                cid,
+                &mut outbox,
+                &mut table,
+                &senders,
+                assignment,
+                app,
+                &mut stats,
+                &mut probe,
+            );
         }
 
         // 2. GVT round when due locally, when idle, or when any cluster
@@ -208,16 +263,26 @@ fn cluster_main<A: Application>(
         }
         if shared.requested.load(Ordering::Acquire) {
             batches_since_gvt = 0;
-            let gvt = gvt_round::<A>(
-                cid, &rx, &senders, assignment, app, &mut table, &mut outbox, shared, &mut stats,
+            let gvt = gvt_round::<A, P>(
+                cid,
+                &rx,
+                &senders,
+                assignment,
+                app,
+                &mut table,
+                &mut outbox,
+                shared,
+                &mut stats,
+                &mut probe,
             );
             stats.gvt_rounds += 1;
-            let held: u64 =
-                local_ids.iter().map(|id| table[id].state_queue_len() as u64).sum();
+            let held: u64 = local_ids.iter().map(|id| table[id].state_queue_len() as u64).sum();
             stats.state_queue_high_water = stats.state_queue_high_water.max(held);
             for id in &local_ids {
-                table.get_mut(id).unwrap().fossil_collect(gvt, &mut stats);
+                table.get_mut(id).unwrap().fossil_collect(gvt, &mut stats, &mut probe);
             }
+            let pending: u64 = local_ids.iter().map(|id| table[id].pending_len() as u64).sum();
+            probe.gvt_advanced(gvt, held, pending, started.elapsed().as_nanos() as u64);
             if gvt.is_inf() {
                 break;
             }
@@ -247,9 +312,18 @@ fn cluster_main<A: Application>(
         match best {
             Some((t, id)) if t <= horizon => {
                 let lp = table.get_mut(&id).expect("local LP");
-                lp.execute_next(app, &mut stats, &mut outbox);
+                lp.execute_next(app, &mut stats, &mut outbox, &mut probe);
                 batches_since_gvt += 1;
-                route::<A>(cid, &mut outbox, &mut table, &senders, assignment, app, &mut stats);
+                route::<A, P>(
+                    cid,
+                    &mut outbox,
+                    &mut table,
+                    &senders,
+                    assignment,
+                    app,
+                    &mut stats,
+                    &mut probe,
+                );
             }
             Some(_) => {
                 // Blocked at the window edge: a GVT round advances it.
@@ -259,14 +333,15 @@ fn cluster_main<A: Application>(
         }
     }
 
-    let states: Vec<(LpId, A::State)> = local_ids
+    let states: Vec<(LpId, A::State, LpCounters)> = local_ids
         .into_iter()
         .map(|id| {
             let lp = table.remove(&id).expect("local LP");
-            (id, lp.into_state())
+            let counters = lp.own_stats();
+            (id, lp.into_state(), counters)
         })
         .collect();
-    (cid, stats, states)
+    (cid, stats, states, probe)
 }
 
 /// One synchronized GVT round. All clusters call this together (guaranteed
@@ -278,7 +353,7 @@ fn cluster_main<A: Application>(
 ///    anywhere — at that point no message is in flight;
 /// 3. publish local minima, barrier, read the global minimum.
 #[allow(clippy::too_many_arguments)]
-fn gvt_round<A: Application>(
+fn gvt_round<A: Application, P: Probe>(
     cid: usize,
     rx: &Receiver<Transmission<A::Msg>>,
     senders: &[Sender<Transmission<A::Msg>>],
@@ -288,6 +363,7 @@ fn gvt_round<A: Application>(
     outbox: &mut Vec<Transmission<A::Msg>>,
     shared: &GvtShared,
     stats: &mut KernelStats,
+    probe: &mut P,
 ) -> VTime {
     shared.barrier.wait();
     loop {
@@ -295,8 +371,8 @@ fn gvt_round<A: Application>(
         while let Ok(tx) = rx.try_recv() {
             let dst = tx.dst();
             let lp = table.get_mut(&dst).expect("local LP");
-            lp.receive(app, tx, stats, outbox);
-            routed += route::<A>(cid, outbox, table, senders, assignment, app, stats);
+            lp.receive(app, tx, stats, outbox, probe);
+            routed += route::<A, P>(cid, outbox, table, senders, assignment, app, stats, probe);
         }
         shared.routed_this_round.fetch_add(routed, Ordering::AcqRel);
         shared.barrier.wait();
@@ -316,12 +392,8 @@ fn gvt_round<A: Application>(
     shared.local_mins[cid].store(local_min.0, Ordering::Release);
     shared.barrier.wait();
     if cid == 0 {
-        let gvt = shared
-            .local_mins
-            .iter()
-            .map(|m| m.load(Ordering::Acquire))
-            .min()
-            .unwrap_or(u64::MAX);
+        let gvt =
+            shared.local_mins.iter().map(|m| m.load(Ordering::Acquire)).min().unwrap_or(u64::MAX);
         shared.gvt.store(gvt, Ordering::Release);
         shared.requested.store(false, Ordering::Release);
     }
@@ -333,7 +405,7 @@ fn gvt_round<A: Application>(
 mod tests {
     use super::*;
     use crate::app::EventSink;
-    use crate::sequential::run_sequential;
+    use crate::sim::{Backend, Simulator};
 
     /// The same jittered token ring used by the platform tests.
     struct Ring {
@@ -375,11 +447,20 @@ mod tests {
         (0..n).map(|i| (i % c) as u32).collect()
     }
 
+    fn threaded<A: Application>(
+        app: &A,
+        assignment: &[u32],
+        clusters: usize,
+        cfg: &KernelConfig,
+    ) -> RunReport<A> {
+        Simulator::new(app).config(*cfg).run(Backend::Threaded { assignment, clusters }).unwrap()
+    }
+
     #[test]
     fn single_cluster_matches_sequential() {
         let app = Ring { n: 8, hops: 30 };
-        let seq = run_sequential(&app);
-        let res = run_threaded(&app, &round_robin(8, 1), 1, &KernelConfig::default());
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let res = threaded(&app, &round_robin(8, 1), 1, &KernelConfig::default());
         assert_eq!(res.states, seq.states);
         assert_eq!(res.stats.events_committed, seq.stats.events_processed);
     }
@@ -387,8 +468,8 @@ mod tests {
     #[test]
     fn two_clusters_match_sequential() {
         let app = Ring { n: 8, hops: 30 };
-        let seq = run_sequential(&app);
-        let res = run_threaded(&app, &round_robin(8, 2), 2, &KernelConfig::default());
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let res = threaded(&app, &round_robin(8, 2), 2, &KernelConfig::default());
         assert_eq!(res.states, seq.states, "threaded must commit the same history");
     }
 
@@ -397,9 +478,9 @@ mod tests {
         // Thread interleavings differ run to run; the committed result
         // must not. A handful of repetitions catches gross races.
         let app = Ring { n: 12, hops: 40 };
-        let seq = run_sequential(&app);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
         for _ in 0..5 {
-            let res = run_threaded(&app, &round_robin(12, 4), 4, &KernelConfig::default());
+            let res = threaded(&app, &round_robin(12, 4), 4, &KernelConfig::default());
             assert_eq!(res.states, seq.states);
         }
     }
@@ -407,21 +488,21 @@ mod tests {
     #[test]
     fn lazy_cancellation_matches_sequential() {
         let app = Ring { n: 8, hops: 30 };
-        let seq = run_sequential(&app);
-        let cfg = KernelConfig {
-            cancellation: crate::config::Cancellation::Lazy,
-            gvt_period: 16,
-            ..Default::default()
-        };
-        let res = run_threaded(&app, &round_robin(8, 2), 2, &cfg);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let cfg = KernelConfig::builder()
+            .cancellation(crate::config::Cancellation::Lazy)
+            .gvt_period(16)
+            .build()
+            .unwrap();
+        let res = threaded(&app, &round_robin(8, 2), 2, &cfg);
         assert_eq!(res.states, seq.states);
     }
 
     #[test]
     fn small_gvt_period_still_terminates() {
         let app = Ring { n: 6, hops: 10 };
-        let cfg = KernelConfig { gvt_period: 1, ..Default::default() };
-        let res = run_threaded(&app, &round_robin(6, 3), 3, &cfg);
+        let cfg = KernelConfig::builder().gvt_period(1).build().unwrap();
+        let res = threaded(&app, &round_robin(6, 3), 3, &cfg);
         assert!(res.stats.gvt_rounds >= 1);
         assert_eq!(res.stats.final_gvt, VTime::INF);
     }
@@ -429,9 +510,9 @@ mod tests {
     #[test]
     fn windowed_threaded_matches_sequential() {
         let app = Ring { n: 10, hops: 30 };
-        let seq = run_sequential(&app);
-        let cfg = KernelConfig { window: Some(4), gvt_period: 8, ..Default::default() };
-        let res = run_threaded(&app, &round_robin(10, 3), 3, &cfg);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let cfg = KernelConfig::builder().window(Some(4)).gvt_period(8).build().unwrap();
+        let res = threaded(&app, &round_robin(10, 3), 3, &cfg);
         assert_eq!(res.states, seq.states);
     }
 
@@ -440,9 +521,9 @@ mod tests {
         // An empty cluster has nothing to do but must still participate in
         // GVT rounds and exit — a deadlock here would hang the whole run.
         let app = Ring { n: 6, hops: 15 };
-        let seq = run_sequential(&app);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
         let assignment: Vec<u32> = (0..6).map(|_| 0).collect(); // cluster 1 of 2 empty
-        let res = run_threaded(&app, &assignment, 2, &KernelConfig::default());
+        let res = threaded(&app, &assignment, 2, &KernelConfig::default());
         assert_eq!(res.states, seq.states);
     }
 
@@ -467,7 +548,7 @@ mod tests {
             ) {
             }
         }
-        let res = run_threaded(&Idle, &round_robin(4, 2), 2, &KernelConfig::default());
+        let res = threaded(&Idle, &round_robin(4, 2), 2, &KernelConfig::default());
         assert_eq!(res.stats.events_processed, 0);
     }
 }

@@ -21,11 +21,7 @@ fn main() {
     // real run) is enough to rank signals by activity.
     let t0 = std::time::Instant::now();
     let profile = ActivityProfile::measure(&netlist, &cfg, 50);
-    println!(
-        "profiled {} transitions over 50 t.u. in {:?}",
-        profile.total(),
-        t0.elapsed()
-    );
+    println!("profiled {} transitions over 50 t.u. in {:?}", profile.total(), t0.elapsed());
 
     let plain_graph = CircuitGraph::from_netlist(&netlist);
     let hot_graph = activity_weighted_graph(&netlist, &profile);

@@ -29,45 +29,38 @@ fn main() {
             locality_pct: locality,
             ..Default::default()
         };
-        let res = run_platform(
-            &model,
-            &round_robin(model.lps, nodes),
-            nodes,
-            &PlatformConfig::default(),
-        )
-        .unwrap();
+        let res = Simulator::new(&model)
+            .run(Backend::Platform { assignment: &round_robin(model.lps, nodes), nodes })
+            .unwrap();
         println!(
             "{:<10} {:>9} {:>10} {:>10} {:>9.2} {:>10.0}%",
             format!("{locality}%"),
             res.stats.events_committed,
             res.stats.app_messages,
             res.stats.rollbacks(),
-            res.exec_time_s,
+            res.outcome.exec_time_s().unwrap(),
             100.0 * res.stats.efficiency()
         );
     }
 
     // Real threads (wall-clock; interesting on true multi-core hosts).
     let model = Phold { lps: 128, horizon: 1_000, ..Default::default() };
-    let seq = parlogsim::timewarp::run_sequential(&model);
+    let seq = Simulator::new(&model).run(Backend::Sequential).unwrap();
     println!(
         "\nthreaded executive sanity: sequential handled {} events",
         seq.stats.events_processed
     );
     for clusters in [1usize, 2, 4] {
-        let res = run_threaded(
-            &model,
-            &round_robin(model.lps, clusters),
-            clusters,
-            &KernelConfig::default(),
-        );
+        let res = Simulator::new(&model)
+            .run(Backend::Threaded { assignment: &round_robin(model.lps, clusters), clusters })
+            .unwrap();
         assert_eq!(
             res.stats.events_committed, seq.stats.events_processed,
             "threaded run must commit the same events"
         );
         println!(
             "  {clusters} cluster(s): wall {:?}, {} rollbacks, {} remote messages",
-            res.wall,
+            res.outcome.wall().unwrap(),
             res.stats.rollbacks(),
             res.stats.app_messages
         );

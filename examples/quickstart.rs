@@ -39,10 +39,7 @@ fn main() {
     //    Pentium-II-class workstations.
     let cfg = SimConfig { end_time: 400, ..Default::default() };
     let seq = run_seq_baseline(&netlist, &cfg);
-    println!(
-        "sequential: {} events, {:.2} modeled seconds",
-        seq.events, seq.exec_time_s
-    );
+    println!("sequential: {} events, {:.2} modeled seconds", seq.events, seq.exec_time_s);
     let par = run_cell_with(&netlist, &graph, &report.partitioning, "Multilevel", 8, &cfg);
     println!(
         "8-node Time Warp: {:.2} modeled seconds ({:.1}x speedup), \

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local CI gate: everything the hosted workflow runs, in one command.
+#   scripts/check.sh          # build + test + fmt + clippy
+#   scripts/check.sh --fast   # skip the release build (debug test run only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+if [[ "$FAST" -eq 0 ]]; then
+  run cargo build --workspace --release
+fi
+run cargo build --workspace --benches --tests --examples
+run cargo test -q --workspace
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "All checks passed."

@@ -1,0 +1,266 @@
+//! A minimal, self-contained re-implementation of the subset of the
+//! `rand` 0.8 API this workspace uses (`StdRng`, `SeedableRng`, `Rng`,
+//! `seq::SliceRandom`).
+//!
+//! The build environment is fully offline, so the real crates-io `rand`
+//! cannot be fetched; the workspace renames this package to `rand` via a
+//! path dependency. The generator is xoshiro256++ seeded through
+//! splitmix64 — statistically solid for simulation workloads and fully
+//! deterministic per seed, which is all the stack requires (stimulus
+//! streams, synthetic circuit generation, partitioner tie-breaking).
+//! Streams differ from the real `StdRng` (ChaCha12), so absolute values
+//! of seeded artifacts changed when this shim was introduced; nothing in
+//! the workspace depends on the specific stream, only on determinism.
+
+#![warn(missing_docs)]
+
+/// Construct a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (expanded via splitmix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a [`Standard`]-distributed type (`f64` in
+    /// `[0, 1)`, `bool` fair coin, full-range integers).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]` (NaN included).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        f64::sample(self.next_u64()) < p
+    }
+
+    /// Uniform sample from a half-open integer range.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self.next_u64(), range.start, range.end)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from 64 uniform bits via [`Rng::gen`].
+pub trait Standard {
+    /// Map 64 uniform bits onto the type's standard distribution.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform value in `[lo, hi)` from 64 uniform bits.
+    fn sample_range(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is < 2^-64 × span: negligible for the span
+                // sizes this workspace samples (≤ millions).
+                lo + (bits as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The workspace's standard generator: xoshiro256++.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 expansion, the canonical xoshiro seeding procedure.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling and sampling.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// Re-exports at crate root, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads: {heads}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_spans() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle leaving order intact is ~impossible");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        assert!([7u8].choose(&mut r).is_some());
+    }
+}

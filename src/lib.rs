@@ -48,13 +48,12 @@ pub use pls_timewarp as timewarp;
 /// The common imports for working with the full stack.
 pub mod prelude {
     pub use pls_gatesim::{
-        fingerprint, run_cell, run_cell_checked, run_cell_with, run_seq_baseline, GateMsg,
-        GateSim, GateState, RunMetrics, SeqMetrics, SimConfig,
+        fingerprint, run_cell, run_cell_checked, run_cell_recorded, run_cell_with,
+        run_seq_baseline, GateMsg, GateSim, GateState, RunMetrics, SeqMetrics, SimConfig,
     };
     pub use pls_logic::{eval_gate, DelayModel, StimulusConfig, Value};
     pub use pls_netlist::{
-        bench_format, levelize, CircuitStats, GateId, GateKind, IscasSynth, Netlist,
-        NetlistBuilder,
+        bench_format, levelize, CircuitStats, GateId, GateKind, IscasSynth, Netlist, NetlistBuilder,
     };
     pub use pls_partition::{
         all_partitioners, metrics, partitioner_by_name, CircuitGraph, ClusterPartitioner,
@@ -62,7 +61,7 @@ pub mod prelude {
         RandomPartitioner, TopologicalPartitioner,
     };
     pub use pls_timewarp::{
-        run_platform, run_sequential, run_threaded, Application, Cancellation, CostModel,
-        EventSink, KernelConfig, KernelStats, LpId, PlatformConfig, VTime,
+        Application, Backend, Cancellation, CostModel, EventSink, KernelConfig, KernelStats, LpId,
+        NoProbe, Outcome, PlatformConfig, Probe, RunReport, SimError, Simulator, TimeSeries, VTime,
     };
 }

@@ -35,8 +35,13 @@ USAGE:
   parlogsim stats     <circuit>                       circuit characteristics (Table 1 row)
   parlogsim generate  <s5378|s9234|s15850|N> [-o F]   synthetic benchmark to .bench
   parlogsim partition <circuit> [-k K] [-s STRAT]     partition and report quality
-  parlogsim simulate  <circuit> [-k K] [-s STRAT] [--end T]
+  parlogsim simulate  <circuit> [-k K] [-s STRAT] [--end T] [--trace F [--bucket W]]
                                                       Time Warp run vs sequential baseline
+                                                      (--trace dumps a JSONL telemetry series)
+  parlogsim trace     <circuit> [-k K] [-s STRAT] [--end T] [--bucket W]
+                                [--format jsonl|csv] [-o F]
+                                                      virtual-time telemetry series
+                                                      (table by default)
   parlogsim vcd       <circuit> [-o F] [--end T]      dump primary-output waveform as VCD
   parlogsim hotspots  <circuit> [-k K] [-s STRAT] [--end T]
                                                       per-gate rollback/load hotspots
@@ -60,6 +65,7 @@ fn main() {
         "generate" => cmd_generate(rest),
         "partition" => cmd_partition(rest),
         "simulate" => cmd_simulate(rest),
+        "trace" => cmd_trace(rest),
         "vcd" => cmd_vcd(rest),
         "hotspots" => cmd_hotspots(rest),
         "dot" => cmd_dot(rest),
@@ -97,10 +103,7 @@ fn load_circuit(spec: &str) -> Netlist {
         eprintln!("cannot read `{spec}`: {e}");
         exit(1);
     });
-    let name = std::path::Path::new(spec)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("circuit");
+    let name = std::path::Path::new(spec).file_stem().and_then(|s| s.to_str()).unwrap_or("circuit");
     bench_format::parse(name, &text).unwrap_or_else(|e| {
         eprintln!("parse error in `{spec}`: {e}");
         exit(1);
@@ -128,7 +131,8 @@ fn required_circuit(rest: &[String]) -> Netlist {
     let mut spec: Option<&String> = None;
     while i < rest.len() {
         let a = &rest[i];
-        if matches!(a.as_str(), "-k" | "-s" | "-o" | "--end") {
+        if matches!(a.as_str(), "-k" | "-s" | "-o" | "--end" | "--trace" | "--bucket" | "--format")
+        {
             i += 2;
             continue;
         }
@@ -224,6 +228,17 @@ fn cmd_partition(rest: &[String]) {
     out!("sizes:       {:?}", part.sizes());
 }
 
+/// Parse `--bucket`, defaulting to 1/20th of the horizon (≥ 1).
+fn bucket_of(rest: &[String], end: u64) -> u64 {
+    let w =
+        flag(rest, "--bucket").and_then(|v| v.parse().ok()).unwrap_or_else(|| (end / 20).max(1));
+    if w == 0 {
+        eprintln!("--bucket must be >= 1");
+        exit(2);
+    }
+    w
+}
+
 fn cmd_simulate(rest: &[String]) {
     let netlist = required_circuit(rest);
     let k = k_of(rest, 8);
@@ -232,11 +247,11 @@ fn cmd_simulate(rest: &[String]) {
     let graph = CircuitGraph::from_netlist(&netlist);
     let cfg = SimConfig { end_time: end, ..Default::default() };
     let seq = run_seq_baseline(&netlist, &cfg);
-    out!(
-        "sequential: {} events, {:.3} modeled s",
-        seq.events, seq.exec_time_s
-    );
-    let m = run_cell(&netlist, &graph, strategy.as_ref(), k, 0, &cfg);
+    out!("sequential: {} events, {:.3} modeled s", seq.events, seq.exec_time_s);
+    let trace_path = flag(rest, "--trace");
+    let bucket = trace_path.map(|_| bucket_of(rest, end));
+    let part = strategy.partition(&graph, k, 0);
+    let (m, series) = run_cell_recorded(&netlist, &graph, &part, strategy.name(), k, &cfg, bucket);
     if m.out_of_memory {
         out!("{} on {k} nodes: OUT OF MEMORY", m.strategy);
         exit(1);
@@ -250,6 +265,100 @@ fn cmd_simulate(rest: &[String]) {
         m.rollbacks,
         100.0 * m.events_committed as f64 / m.events_processed as f64
     );
+    if let Some(path) = trace_path {
+        let series = series.expect("recording was requested");
+        std::fs::write(path, series.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("cannot write `{path}`: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "wrote {} telemetry buckets (width {}) to {path}",
+            series.len(),
+            series.bucket_width()
+        );
+    }
+}
+
+fn cmd_trace(rest: &[String]) {
+    let netlist = required_circuit(rest);
+    let k = k_of(rest, 8);
+    let end: u64 = flag(rest, "--end").and_then(|v| v.parse().ok()).unwrap_or(400);
+    let bucket = bucket_of(rest, end);
+    let strategy = strategy_of(rest);
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let cfg = SimConfig { end_time: end, ..Default::default() };
+    let part = strategy.partition(&graph, k, 0);
+    let (m, series) =
+        run_cell_recorded(&netlist, &graph, &part, strategy.name(), k, &cfg, Some(bucket));
+    if m.out_of_memory {
+        eprintln!("{} on {k} nodes: OUT OF MEMORY", m.strategy);
+        exit(1);
+    }
+    let series = series.expect("recording was requested");
+    let format = flag(rest, "--format");
+    let rendered = match format {
+        Some("jsonl") => series.to_jsonl(),
+        Some("csv") => series.to_csv(),
+        Some(other) => {
+            eprintln!("unknown format `{other}` (jsonl|csv)");
+            exit(2);
+        }
+        None => {
+            // Human-readable table.
+            let mut s = format!(
+                "{} / {} on {k} nodes, bucket width {} vt\n",
+                netlist.name(),
+                m.strategy,
+                series.bucket_width()
+            );
+            s.push_str(&format!(
+                "{:>10} {:>8} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}\n",
+                "vt", "events", "committed", "rollbk", "antis", "messages", "states", "pending"
+            ));
+            for (key, b) in series.buckets() {
+                let vt = match key {
+                    parlogsim::timewarp::BucketKey::At(i) => {
+                        format!("{}", i * series.bucket_width())
+                    }
+                    parlogsim::timewarp::BucketKey::Final => "final".to_string(),
+                };
+                s.push_str(&format!(
+                    "{:>10} {:>8} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}\n",
+                    vt,
+                    b.events,
+                    b.events_committed,
+                    b.rollbacks(),
+                    b.antis_sent,
+                    b.app_messages,
+                    b.states_saved,
+                    b.pending_max
+                ));
+            }
+            let t = series.totals();
+            s.push_str(&format!(
+                "{:>10} {:>8} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}\n",
+                "total",
+                t.events,
+                t.events_committed,
+                t.rollbacks(),
+                t.antis_sent,
+                t.app_messages,
+                t.states_saved,
+                ""
+            ));
+            s
+        }
+    };
+    match flag(rest, "-o") {
+        Some(path) => {
+            std::fs::write(path, rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write `{path}`: {e}");
+                exit(1);
+            });
+            eprintln!("wrote {} buckets to {path}", series.len());
+        }
+        None => outp!("{rendered}"),
+    }
 }
 
 fn cmd_hotspots(rest: &[String]) {
@@ -261,7 +370,9 @@ fn cmd_hotspots(rest: &[String]) {
     let part = strategy.partition(&graph, k, 0);
     let cfg = SimConfig { end_time: end, ..Default::default() };
     let app = cfg.build_app(&netlist);
-    let res = run_platform(&app, &part.assignment, k, &cfg.platform)
+    let res = Simulator::new(&app)
+        .platform_config(&cfg.platform)
+        .run(Backend::Platform { assignment: &part.assignment, nodes: k })
         .unwrap_or_else(|e| {
             eprintln!("run failed: {e}");
             exit(1);
@@ -272,16 +383,17 @@ fn cmd_hotspots(rest: &[String]) {
         strategy.name(),
         res.stats.rollbacks()
     );
-    let mut by_rollbacks: Vec<(u32, parlogsim::timewarp::LpCounters)> = res
-        .lp_stats
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (i as u32, c))
-        .collect();
+    let mut by_rollbacks: Vec<(u32, parlogsim::timewarp::LpCounters)> =
+        res.lp_stats.iter().enumerate().map(|(i, &c)| (i as u32, c)).collect();
     by_rollbacks.sort_by_key(|&(_, c)| std::cmp::Reverse((c.rollbacks, c.events_rolled_back)));
     out!(
         "{:<16} {:<6} {:>4} {:>10} {:>8} {:>8}",
-        "gate", "kind", "part", "rollbacks", "undone", "events"
+        "gate",
+        "kind",
+        "part",
+        "rollbacks",
+        "undone",
+        "events"
     );
     for (lp, c) in by_rollbacks.iter().take(15) {
         if c.rollbacks == 0 {

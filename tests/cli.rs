@@ -88,6 +88,49 @@ fn simulate_synth_spec() {
 }
 
 #[test]
+fn simulate_trace_writes_jsonl_series() {
+    let dir = std::env::temp_dir().join("parlogsim_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let p = path.to_str().unwrap();
+
+    let out =
+        run_ok(&["simulate", "s27", "-k", "2", "--end", "200", "--trace", p, "--bucket", "50"]);
+    assert!(out.contains("sequential:"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(!text.is_empty(), "trace file is empty");
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSONL: {line}");
+        assert!(line.contains("\"events\":"));
+        assert!(line.contains("\"vt_lo\":"));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_prints_table_and_exports_csv() {
+    let table = run_ok(&["trace", "s27", "-k", "2", "--end", "200", "--bucket", "50"]);
+    assert!(table.contains("bucket width 50 vt"), "{table}");
+    assert!(table.contains("total"));
+
+    let csv =
+        run_ok(&["trace", "s27", "-k", "2", "--end", "200", "--bucket", "50", "--format", "csv"]);
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert!(header.starts_with("bucket,vt_lo,vt_hi,"), "{header}");
+    let cols = header.split(',').count();
+    for l in lines {
+        assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+    }
+}
+
+#[test]
+fn trace_rejects_unknown_format() {
+    let out = cli().args(["trace", "s27", "--format", "xml"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn hotspots_lists_offenders() {
     let out = run_ok(&["hotspots", "synth:150", "-k", "4", "--end", "120"]);
     assert!(out.contains("rollbacks total"));

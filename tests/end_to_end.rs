@@ -6,9 +6,7 @@ use parlogsim::prelude::*;
 #[test]
 fn paper_suite_has_table1_characteristics() {
     let expect = [("s5378", 35, 2779, 49), ("s9234", 36, 5597, 39), ("s15850", 77, 10383, 150)];
-    for (synth, (name, ins, gates, outs)) in
-        IscasSynth::paper_suite().iter().zip(expect)
-    {
+    for (synth, (name, ins, gates, outs)) in IscasSynth::paper_suite().iter().zip(expect) {
         let netlist = synth.build();
         let s = CircuitStats::of(&netlist);
         assert_eq!(s.name, name);
@@ -53,8 +51,18 @@ fn multilevel_dominates_on_communication() {
     let ml = run_cell(&netlist, &graph, &MultilevelPartitioner::default(), 8, 0, &cfg);
     let rnd = run_cell(&netlist, &graph, &RandomPartitioner, 8, 0, &cfg);
     let topo = run_cell(&netlist, &graph, &TopologicalPartitioner, 8, 0, &cfg);
-    assert!(ml.app_messages * 2 < rnd.app_messages, "ml {} vs random {}", ml.app_messages, rnd.app_messages);
-    assert!(ml.app_messages * 2 < topo.app_messages, "ml {} vs topo {}", ml.app_messages, topo.app_messages);
+    assert!(
+        ml.app_messages * 2 < rnd.app_messages,
+        "ml {} vs random {}",
+        ml.app_messages,
+        rnd.app_messages
+    );
+    assert!(
+        ml.app_messages * 2 < topo.app_messages,
+        "ml {} vs topo {}",
+        ml.app_messages,
+        topo.app_messages
+    );
 }
 
 #[test]
@@ -69,17 +77,21 @@ fn lazy_and_sparse_checkpoints_preserve_committed_history() {
     for kernel in [
         KernelConfig { cancellation: Cancellation::Lazy, ..Default::default() },
         KernelConfig { checkpoint_interval: 5, ..Default::default() },
-        KernelConfig { cancellation: Cancellation::Lazy, checkpoint_interval: 3, gvt_period: 64, ..Default::default() },
+        KernelConfig {
+            cancellation: Cancellation::Lazy,
+            checkpoint_interval: 3,
+            gvt_period: 64,
+            ..Default::default()
+        },
     ] {
         let mut cfg = base_cfg;
         cfg.platform.kernel = kernel;
         let app = cfg.build_app(&netlist);
-        let res = run_platform(&app, &part.assignment, 4, &cfg.platform).unwrap();
-        assert_eq!(
-            fingerprint(&res.states),
-            seq.fingerprint,
-            "kernel config {kernel:?} diverged"
-        );
+        let res = Simulator::new(&app)
+            .platform_config(&cfg.platform)
+            .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
+            .unwrap();
+        assert_eq!(fingerprint(&res.states), seq.fingerprint, "kernel config {kernel:?} diverged");
     }
 }
 
@@ -89,9 +101,11 @@ fn threaded_executive_matches_sequential_gate_sim() {
     let graph = CircuitGraph::from_netlist(&netlist);
     let cfg = SimConfig { end_time: 100, ..Default::default() };
     let app = cfg.build_app(&netlist);
-    let seq = parlogsim::timewarp::run_sequential(&app);
+    let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
     let part = MultilevelPartitioner::default().partition(&graph, 2, 0);
-    let res = run_threaded(&app, &part.assignment, 2, &KernelConfig::default());
+    let res = Simulator::new(&app)
+        .run(Backend::Threaded { assignment: &part.assignment, clusters: 2 })
+        .unwrap();
     assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
     assert_eq!(res.stats.events_committed, seq.stats.events_processed);
 }

@@ -1,67 +1,77 @@
-//! Property-based tests over the Time Warp kernel: the committed history
+//! Property-style tests over the Time Warp kernel: the committed history
 //! of the optimistic virtual-platform executive must equal the sequential
 //! history for *arbitrary* circuits, partitionings, node counts and
 //! kernel configurations — the fundamental correctness theorem of Time
-//! Warp [10], checked empirically. Also: cost/latency fuzzing must never
-//! change committed results (only timings), the determinism oracle for
-//! the platform model itself.
-
-use proptest::prelude::*;
+//! Warp [10], checked empirically over a deterministic case sweep. Also:
+//! cost/latency fuzzing must never change committed results (only
+//! timings), the determinism oracle for the platform model itself.
 
 use parlogsim::prelude::*;
+
+/// splitmix64 — drives the case sweeps deterministically.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 fn arbitrary_assignment(n: usize, nodes: usize, seed: u64) -> Vec<u32> {
     // Deterministic pseudo-random assignment touching every node.
     (0..n)
         .map(|i| {
-            let h = (i as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(seed)
-                .rotate_left(21);
+            let h =
+                (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed).rotate_left(21);
             (h % nodes as u64) as u32
         })
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn committed_history_is_kernel_independent() {
+    let mut s = 10u64;
+    for _ in 0..24 {
+        let gates = (30 + mix(&mut s) % 170) as usize;
+        let circuit_seed = mix(&mut s) % 500;
+        let nodes = (2 + mix(&mut s) % 5) as usize;
+        let assign_seed = mix(&mut s) % 100;
+        let lazy = mix(&mut s).is_multiple_of(2);
+        let checkpoint = (1 + mix(&mut s) % 5) as u32;
 
-    #[test]
-    fn committed_history_is_kernel_independent(
-        gates in 30usize..200,
-        circuit_seed in 0u64..500,
-        nodes in 2usize..7,
-        assign_seed in 0u64..100,
-        lazy in proptest::bool::ANY,
-        checkpoint in 1u32..6,
-    ) {
         let netlist = IscasSynth::small(gates, circuit_seed).build();
         let cfg = SimConfig { end_time: 80, ..Default::default() };
         let app = cfg.build_app(&netlist);
-        let seq = parlogsim::timewarp::run_sequential(&app);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
 
         let mut platform = cfg.platform;
         platform.kernel.cancellation =
             if lazy { Cancellation::Lazy } else { Cancellation::Aggressive };
         platform.kernel.checkpoint_interval = checkpoint;
         let assignment = arbitrary_assignment(netlist.len(), nodes, assign_seed);
-        let res = run_platform(&app, &assignment, nodes, &platform).unwrap();
+        let res = Simulator::new(&app)
+            .platform_config(&platform)
+            .run(Backend::Platform { assignment: &assignment, nodes })
+            .unwrap();
 
-        prop_assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
-        prop_assert_eq!(res.stats.events_committed, seq.stats.events_processed);
+        assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
+        assert_eq!(res.stats.events_committed, seq.stats.events_processed);
     }
+}
 
-    #[test]
-    fn cost_model_fuzzing_changes_time_not_results(
-        ev in 1_000u64..300_000,
-        lat in 1_000u64..500_000,
-        send in 1_000u64..150_000,
-        gvt_period in 8u64..2000,
-    ) {
-        let netlist = IscasSynth::small(80, 11).build();
-        let cfg = SimConfig { end_time: 60, ..Default::default() };
-        let app = cfg.build_app(&netlist);
-        let seq = parlogsim::timewarp::run_sequential(&app);
+#[test]
+fn cost_model_fuzzing_changes_time_not_results() {
+    let netlist = IscasSynth::small(80, 11).build();
+    let cfg = SimConfig { end_time: 60, ..Default::default() };
+    let app = cfg.build_app(&netlist);
+    let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+
+    let mut s = 20u64;
+    for _ in 0..24 {
+        let ev = 1_000 + mix(&mut s) % 299_000;
+        let lat = 1_000 + mix(&mut s) % 499_000;
+        let send = 1_000 + mix(&mut s) % 149_000;
+        let gvt_period = 8 + mix(&mut s) % 1992;
 
         let mut platform = cfg.platform;
         platform.cost = CostModel {
@@ -73,44 +83,57 @@ proptest! {
         };
         platform.kernel.gvt_period = gvt_period;
         let assignment = arbitrary_assignment(netlist.len(), 4, 3);
-        let res = run_platform(&app, &assignment, 4, &platform).unwrap();
+        let res = Simulator::new(&app)
+            .platform_config(&platform)
+            .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+            .unwrap();
 
         // Message timing reshuffles rollback patterns freely, but the
         // committed history is invariant.
-        prop_assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
+        assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
     }
+}
 
-    #[test]
-    fn platform_statistics_are_consistent(
-        gates in 30usize..150,
-        circuit_seed in 0u64..200,
-        nodes in 1usize..6,
-    ) {
+#[test]
+fn platform_statistics_are_consistent() {
+    let mut s = 30u64;
+    for _ in 0..24 {
+        let gates = (30 + mix(&mut s) % 120) as usize;
+        let circuit_seed = mix(&mut s) % 200;
+        let nodes = (1 + mix(&mut s) % 5) as usize;
+
         let netlist = IscasSynth::small(gates, circuit_seed).build();
         let cfg = SimConfig { end_time: 80, ..Default::default() };
         let app = cfg.build_app(&netlist);
         let assignment = arbitrary_assignment(netlist.len(), nodes, 1);
-        let res = run_platform(&app, &assignment, nodes, &cfg.platform).unwrap();
-        let s = &res.stats;
+        let res = Simulator::new(&app)
+            .platform_config(&cfg.platform)
+            .run(Backend::Platform { assignment: &assignment, nodes })
+            .unwrap();
+        let st = &res.stats;
 
         // Accounting identities.
-        prop_assert_eq!(s.events_committed, s.events_processed - s.events_rolled_back);
-        prop_assert!(s.efficiency() <= 1.0);
-        prop_assert!(s.final_gvt.is_inf());
+        assert_eq!(st.events_committed, st.events_processed - st.events_rolled_back);
+        assert!(st.efficiency() <= 1.0);
+        assert!(st.final_gvt.is_inf());
         if nodes == 1 {
-            prop_assert_eq!(s.rollbacks(), 0);
-            prop_assert_eq!(s.app_messages, 0);
+            assert_eq!(st.rollbacks(), 0);
+            assert_eq!(st.app_messages, 0);
         }
         // Makespan at least the busiest node's share of pure event work.
-        let max_clock = res.node_clocks_ns.iter().copied().max().unwrap_or(0);
-        prop_assert!(res.exec_time_s >= max_clock as f64 / 1e9 - 1e-9);
+        let clocks = res.outcome.node_clocks_ns().expect("platform outcome");
+        let max_clock = clocks.iter().copied().max().unwrap_or(0);
+        let exec_time_s = res.outcome.exec_time_s().expect("platform outcome");
+        assert!(exec_time_s >= max_clock as f64 / 1e9 - 1e-9);
     }
+}
 
-    #[test]
-    fn stimulus_seed_changes_history_but_not_event_conservation(
-        seed_a in 0u64..100,
-        seed_b in 100u64..200,
-    ) {
+#[test]
+fn stimulus_seed_changes_history_but_not_event_conservation() {
+    let mut s = 40u64;
+    for _ in 0..24 {
+        let seed_a = mix(&mut s) % 100;
+        let seed_b = 100 + mix(&mut s) % 100;
         let netlist = IscasSynth::small(100, 5).build();
         let mut cfg = SimConfig { end_time: 80, ..Default::default() };
         cfg.stim = StimulusConfig { seed: seed_a, ..cfg.stim };
@@ -118,8 +141,8 @@ proptest! {
         cfg.stim = StimulusConfig { seed: seed_b, ..cfg.stim };
         let b = run_seq_baseline(&netlist, &cfg);
         // Different stimulus: different histories...
-        prop_assert_ne!(a.fingerprint, b.fingerprint);
+        assert_ne!(a.fingerprint, b.fingerprint);
         // ...but both runs commit everything they process (sequential).
-        prop_assert!(a.events > 0 && b.events > 0);
+        assert!(a.events > 0 && b.events > 0);
     }
 }

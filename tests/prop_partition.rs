@@ -1,97 +1,125 @@
-//! Property-based tests over the partitioning stack: every strategy, on
-//! arbitrary synthetic circuits, must produce structurally valid,
-//! reasonably balanced partitions; refinement must never increase the
-//! cut; the multilevel invariants of the paper's §3 must hold for every
-//! input.
-
-use proptest::prelude::*;
+//! Property-style tests over the partitioning stack: every strategy, on
+//! a deterministic sweep of synthetic circuits, must produce structurally
+//! valid, reasonably balanced partitions; refinement must never increase
+//! the cut; the multilevel invariants of the paper's §3 must hold for
+//! every input. (The offline build has no proptest, so the cases are
+//! enumerated with an explicit PRNG.)
 
 use parlogsim::partition::multilevel::coarsen::{coarsen, CoarsenConfig};
 use parlogsim::partition::multilevel::refine::{greedy_refine, GreedyConfig};
 use parlogsim::prelude::*;
 
-/// Strategy: a random small circuit (by size and seed) plus a k.
-fn circuit_and_k() -> impl Strategy<Value = (CircuitGraph, usize)> {
-    (30usize..400, 0u64..1000, 2usize..9).prop_map(|(gates, seed, k)| {
-        let netlist = IscasSynth::small(gates, seed).build();
-        (CircuitGraph::from_netlist(&netlist), k)
-    })
+/// splitmix64 — drives the case sweeps deterministically.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// 48 deterministic (circuit, k) cases in the original proptest ranges.
+fn cases() -> Vec<(CircuitGraph, usize)> {
+    let mut s = 0x9A27_u64;
+    (0..48)
+        .map(|_| {
+            let gates = (30 + mix(&mut s) % 370) as usize;
+            let seed = mix(&mut s) % 1000;
+            let k = (2 + mix(&mut s) % 7) as usize;
+            let netlist = IscasSynth::small(gates, seed).build();
+            (CircuitGraph::from_netlist(&netlist), k)
+        })
+        .collect()
+}
 
-    #[test]
-    fn every_strategy_yields_valid_partitions((g, k) in circuit_and_k()) {
+#[test]
+fn every_strategy_yields_valid_partitions() {
+    for (g, k) in cases() {
         for strategy in all_partitioners() {
             let p = strategy.partition(&g, k, 7);
-            prop_assert!(p.is_valid_for(&g), "{} invalid", strategy.name());
-            prop_assert_eq!(p.k, k);
+            assert!(p.is_valid_for(&g), "{} invalid", strategy.name());
+            assert_eq!(p.k, k);
             // No empty partitions on circuits with >= 4k gates.
             if g.len() >= 4 * k {
-                prop_assert!(
+                assert!(
                     p.sizes().iter().all(|&s| s > 0),
-                    "{} produced an empty partition", strategy.name()
+                    "{} produced an empty partition",
+                    strategy.name()
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn balanced_strategies_respect_balance((g, k) in circuit_and_k()) {
+#[test]
+fn balanced_strategies_respect_balance() {
+    for (g, k) in cases() {
         // Random and Multilevel both advertise load balance.
         let slack = 1.0 + 16.0 / (g.len() as f64 / k as f64); // integer rounding allowance
         let p = RandomPartitioner.partition(&g, k, 3);
-        prop_assert!(metrics::imbalance(&g, &p) <= slack.max(1.05));
+        assert!(metrics::imbalance(&g, &p) <= slack.max(1.05));
         let p = MultilevelPartitioner::default().partition(&g, k, 3);
-        prop_assert!(metrics::imbalance(&g, &p) <= slack.max(1.06),
-            "multilevel imbalance {}", metrics::imbalance(&g, &p));
+        assert!(
+            metrics::imbalance(&g, &p) <= slack.max(1.06),
+            "multilevel imbalance {}",
+            metrics::imbalance(&g, &p)
+        );
     }
+}
 
-    #[test]
-    fn greedy_refinement_never_increases_cut((g, k) in circuit_and_k(), seed in 0u64..50) {
+#[test]
+fn greedy_refinement_never_increases_cut() {
+    let mut s = 0x6EF1_u64;
+    for (g, k) in cases() {
+        let seed = mix(&mut s) % 50;
         let mut p = RandomPartitioner.partition(&g, k, seed);
         let before = metrics::edge_cut(&g, &p);
         let stats = greedy_refine(&g, &mut p, &GreedyConfig::default(), seed);
-        prop_assert!(stats.cut_after <= before);
-        prop_assert_eq!(stats.cut_after, metrics::edge_cut(&g, &p));
-        prop_assert!(p.is_valid_for(&g));
+        assert!(stats.cut_after <= before);
+        assert_eq!(stats.cut_after, metrics::edge_cut(&g, &p));
+        assert!(p.is_valid_for(&g));
     }
+}
 
-    #[test]
-    fn coarsening_invariants_hold((g, k) in circuit_and_k()) {
+#[test]
+fn coarsening_invariants_hold() {
+    for (g, k) in cases() {
         // Paper §3: globules are disjoint and cover V; total weight is
         // invariant; input globules never combine; the graph shrinks.
         let levels = coarsen(&g, &CoarsenConfig::for_k(k));
         let mut fine = g.clone();
         for level in &levels {
-            prop_assert_eq!(level.map.len(), fine.len());
-            prop_assert!(level.graph.len() < fine.len());
-            prop_assert_eq!(level.graph.total_weight(), g.total_weight());
+            assert_eq!(level.map.len(), fine.len());
+            assert!(level.graph.len() < fine.len());
+            assert_eq!(level.graph.total_weight(), g.total_weight());
             let mut weight_check = vec![0u64; level.graph.len()];
             let mut inputs_in = vec![0usize; level.graph.len()];
             for v in fine.vertices() {
                 let c = level.map[v as usize] as usize;
-                prop_assert!(c < level.graph.len());
+                assert!(c < level.graph.len());
                 weight_check[c] += fine.vweight(v);
                 if fine.is_input(v) {
                     inputs_in[c] += 1;
                 }
             }
             for c in level.graph.vertices() {
-                prop_assert_eq!(weight_check[c as usize], level.graph.vweight(c));
-                prop_assert!(inputs_in[c as usize] <= 1, "input globules combined");
+                assert_eq!(weight_check[c as usize], level.graph.vweight(c));
+                assert!(inputs_in[c as usize] <= 1, "input globules combined");
             }
             fine = level.graph.clone();
         }
     }
+}
 
-    #[test]
-    fn projection_preserves_partition_semantics((g, k) in circuit_and_k()) {
+#[test]
+fn projection_preserves_partition_semantics() {
+    for (g, k) in cases() {
         // ∀ v ∈ V_ij : P[v] = P[V_ij] — projecting a coarse partition must
         // give every fine vertex its globule's partition.
         let levels = coarsen(&g, &CoarsenConfig::for_k(k));
-        prop_assume!(!levels.is_empty());
+        if levels.is_empty() {
+            continue;
+        }
         let coarsest = &levels.last().unwrap().graph;
         let coarse_p = RandomPartitioner.partition(coarsest, k, 1);
         // Project down through every level.
@@ -99,15 +127,17 @@ proptest! {
         for level in levels.iter().rev() {
             let finer = p.project(&level.map);
             for (v, &c) in level.map.iter().enumerate() {
-                prop_assert_eq!(finer.assignment[v], p.assignment[c as usize]);
+                assert_eq!(finer.assignment[v], p.assignment[c as usize]);
             }
             p = finer;
         }
-        prop_assert!(p.is_valid_for(&g));
+        assert!(p.is_valid_for(&g));
     }
+}
 
-    #[test]
-    fn cut_metric_is_symmetric_in_relabeling((g, k) in circuit_and_k()) {
+#[test]
+fn cut_metric_is_symmetric_in_relabeling() {
+    for (g, k) in cases() {
         // Swapping two partition labels cannot change the cut.
         let p = DfsPartitioner.partition(&g, k, 0);
         let cut = metrics::edge_cut(&g, &p);
@@ -122,15 +152,17 @@ proptest! {
             swapped.set(v, y.min(k as u32 - 1));
         }
         if k >= 2 {
-            prop_assert_eq!(metrics::edge_cut(&g, &swapped), cut);
+            assert_eq!(metrics::edge_cut(&g, &swapped), cut);
         }
     }
+}
 
-    #[test]
-    fn multilevel_cut_never_worse_than_random((g, k) in circuit_and_k()) {
+#[test]
+fn multilevel_cut_never_worse_than_random() {
+    for (g, k) in cases() {
         let ml = MultilevelPartitioner::default().partition(&g, k, 0);
         let rnd = RandomPartitioner.partition(&g, k, 0);
-        prop_assert!(
+        assert!(
             metrics::edge_cut(&g, &ml) <= metrics::edge_cut(&g, &rnd),
             "multilevel {} worse than random {}",
             metrics::edge_cut(&g, &ml),

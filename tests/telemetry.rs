@@ -1,0 +1,199 @@
+//! Telemetry invariants at the workspace level:
+//!
+//! 1. **Non-perturbation** — attaching the recording [`TimeSeries`] probe
+//!    must not change a single committed result or kernel statistic on any
+//!    of the three executives (the probe observes the protocol, it never
+//!    participates in it).
+//! 2. **Conservation** — summing any additive counter over the buckets of
+//!    a recorded series equals the run's aggregate [`KernelStats`] value:
+//!    the series is a lossless decomposition of the aggregates by virtual
+//!    time. (On the threaded executive `gvt_rounds` is excluded: every
+//!    cluster participates in every synchronized round, so the aggregate
+//!    keeps the max across clusters while the series sums all callbacks.)
+//! 3. **Determinism** — the merged series of a threaded run is identical
+//!    across repeated runs despite thread interleaving.
+//!
+//! [`TimeSeries`]: parlogsim::timewarp::TimeSeries
+//! [`KernelStats`]: parlogsim::timewarp::KernelStats
+
+use parlogsim::prelude::*;
+use parlogsim::timewarp::Bucket;
+
+const BUCKET: u64 = 25;
+
+fn circuits() -> Vec<Netlist> {
+    vec![parlogsim::netlist::data::s27(), parlogsim::netlist::data::c17()]
+}
+
+fn assignment(n: usize, k: usize) -> Vec<u32> {
+    (0..n).map(|i| (i % k) as u32).collect()
+}
+
+/// Assert every additive series counter reconciles with the aggregate.
+fn assert_conserved(totals: &Bucket, stats: &KernelStats, sum_gvt_rounds: bool, tag: &str) {
+    assert_eq!(totals.batches, stats.batches_executed, "{tag}: batches");
+    assert_eq!(totals.events, stats.events_processed, "{tag}: events");
+    assert_eq!(totals.primary_rollbacks, stats.primary_rollbacks, "{tag}: primary");
+    assert_eq!(totals.secondary_rollbacks, stats.secondary_rollbacks, "{tag}: secondary");
+    assert_eq!(totals.events_rolled_back, stats.events_rolled_back, "{tag}: rolled back");
+    assert_eq!(totals.events_coasted, stats.events_coasted, "{tag}: coasted");
+    assert_eq!(totals.antis_sent, stats.antis_sent, "{tag}: antis");
+    assert_eq!(totals.annihilations, stats.annihilated_pending, "{tag}: annihilations");
+    assert_eq!(totals.states_saved, stats.states_saved, "{tag}: states saved");
+    assert_eq!(totals.events_committed, stats.events_committed, "{tag}: committed");
+    assert_eq!(totals.app_messages, stats.app_messages, "{tag}: app messages");
+    assert_eq!(totals.remote_antis, stats.anti_messages_remote, "{tag}: remote antis");
+    if sum_gvt_rounds {
+        assert_eq!(totals.gvt_rounds, stats.gvt_rounds, "{tag}: gvt rounds");
+    }
+}
+
+#[test]
+fn recording_probe_does_not_perturb_sequential() {
+    for netlist in circuits() {
+        let cfg = SimConfig { end_time: 300, ..Default::default() };
+        let app = cfg.build_app(&netlist);
+        let plain = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let recorded = Simulator::new(&app).record(BUCKET).run(Backend::Sequential).unwrap();
+        assert_eq!(fingerprint(&recorded.states), fingerprint(&plain.states));
+        assert_eq!(recorded.stats, plain.stats);
+        let ts = recorded.telemetry.expect("recording was on");
+        assert_conserved(&ts.totals(), &recorded.stats, true, netlist.name());
+    }
+}
+
+#[test]
+fn recording_probe_does_not_perturb_platform() {
+    for netlist in circuits() {
+        let cfg = SimConfig { end_time: 300, ..Default::default() };
+        let app = cfg.build_app(&netlist);
+        for nodes in [2, 4] {
+            let asg = assignment(netlist.len(), nodes);
+            let backend = Backend::Platform { assignment: &asg, nodes };
+            let plain = Simulator::new(&app).run(backend).unwrap();
+            let recorded = Simulator::new(&app).record(BUCKET).run(backend).unwrap();
+            assert_eq!(
+                fingerprint(&recorded.states),
+                fingerprint(&plain.states),
+                "{} on {nodes} nodes",
+                netlist.name()
+            );
+            assert_eq!(recorded.stats, plain.stats);
+            assert_eq!(recorded.outcome, plain.outcome, "modeled time must not move");
+            let ts = recorded.telemetry.expect("recording was on");
+            assert_conserved(&ts.totals(), &recorded.stats, true, netlist.name());
+        }
+    }
+}
+
+#[test]
+fn recording_probe_does_not_perturb_threaded() {
+    // Real threads race, so speculative-work counters (rollbacks, antis)
+    // legitimately vary run to run; the executive's guarantee — and what
+    // the probe must not disturb — is the committed history.
+    for netlist in circuits() {
+        let cfg = SimConfig { end_time: 300, ..Default::default() };
+        let app = cfg.build_app(&netlist);
+        let asg = assignment(netlist.len(), 2);
+        let backend = Backend::Threaded { assignment: &asg, clusters: 2 };
+        let plain = Simulator::new(&app).run(backend).unwrap();
+        let recorded = Simulator::new(&app).record(BUCKET).run(backend).unwrap();
+        assert_eq!(fingerprint(&recorded.states), fingerprint(&plain.states));
+        assert_eq!(recorded.stats.events_committed, plain.stats.events_committed);
+        let ts = recorded.telemetry.expect("recording was on");
+        assert_conserved(&ts.totals(), &recorded.stats, false, netlist.name());
+    }
+}
+
+#[test]
+fn bucket_sums_match_aggregates_across_configs() {
+    // Sweep cancellation × checkpointing on a livelier circuit so the
+    // rollback/anti/coast counters are actually exercised.
+    let netlist = IscasSynth::small(200, 3).build();
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+    for (cancellation, checkpoint) in [
+        (Cancellation::Aggressive, 1),
+        (Cancellation::Aggressive, 4),
+        (Cancellation::Lazy, 1),
+        (Cancellation::Lazy, 3),
+    ] {
+        let mut cfg = SimConfig { end_time: 200, ..Default::default() };
+        cfg.platform.kernel.cancellation = cancellation;
+        cfg.platform.kernel.checkpoint_interval = checkpoint;
+        let app = cfg.build_app(&netlist);
+        let res = Simulator::new(&app)
+            .platform_config(&cfg.platform)
+            .record(BUCKET)
+            .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
+            .unwrap();
+        let ts = res.telemetry.expect("recording was on");
+        let tag = format!("{cancellation:?}/ckpt{checkpoint}");
+        assert_conserved(&ts.totals(), &res.stats, true, &tag);
+        assert!(ts.totals().rollbacks() > 0 || res.stats.rollbacks() == 0);
+    }
+}
+
+#[test]
+fn threaded_series_merge_is_deterministic() {
+    // A 100%-local PHOLD has zero inter-LP traffic, so every LP's
+    // execution is independent of thread scheduling: all execution-side
+    // counters are deterministic, and any run-to-run difference could only
+    // come from the per-cluster fork/join merge depending on interleaving.
+    // (Commit and GVT-round bucketing follow the GVT values of the
+    // synchronized rounds, which ARE timing-dependent — those columns and
+    // the high-water/wall samples are excluded; their totals still
+    // reconcile via `assert_conserved` in the other tests.)
+    let model = parlogsim::timewarp::Phold {
+        lps: 24,
+        horizon: 400,
+        locality_pct: 100,
+        ..Default::default()
+    };
+    let asg = assignment(model.lps, 3);
+    let backend = Backend::Threaded { assignment: &asg, clusters: 3 };
+    let run = || {
+        Simulator::new(&model)
+            .record(BUCKET)
+            .run(backend)
+            .unwrap()
+            .telemetry
+            .expect("recording was on")
+    };
+    let a = run();
+    let b = run();
+    let execution_side = |ts: &TimeSeries| -> Vec<(parlogsim::timewarp::BucketKey, Bucket)> {
+        ts.buckets()
+            .map(|(k, bk)| {
+                let mut bk = *bk;
+                bk.events_committed = 0;
+                bk.gvt_rounds = 0;
+                bk.states_held_max = 0;
+                bk.pending_max = 0;
+                bk.wall_ns_max = 0;
+                (k, bk)
+            })
+            .filter(|(_, bk)| *bk != Bucket::default())
+            .collect()
+    };
+    assert_eq!(execution_side(&a), execution_side(&b));
+    assert!(a.totals().events > 0);
+    assert_eq!(a.totals().events_committed, b.totals().events_committed);
+    assert_eq!(a.totals().app_messages, 0, "locality 100% must stay local");
+}
+
+#[test]
+fn exported_series_row_counts_match() {
+    let netlist = parlogsim::netlist::data::s27();
+    let cfg = SimConfig { end_time: 300, ..Default::default() };
+    let app = cfg.build_app(&netlist);
+    let asg = assignment(netlist.len(), 2);
+    let res = Simulator::new(&app)
+        .record(BUCKET)
+        .run(Backend::Platform { assignment: &asg, nodes: 2 })
+        .unwrap();
+    let ts = res.telemetry.expect("recording was on");
+    assert!(!ts.is_empty());
+    assert_eq!(ts.to_jsonl().lines().count(), ts.len());
+    assert_eq!(ts.to_csv().lines().count(), ts.len() + 1);
+}
