@@ -46,4 +46,11 @@ fn main() {
             Simulator::new(&app).platform_config(&pcfg).run(platform).unwrap()
         });
     }
+
+    // The tracked hot-path suite (straggler-heavy, anti-heavy, lazy …):
+    // the same scenarios the `bench_kernel` binary records into
+    // `BENCH_kernel.json`.
+    for mut sc in pls_bench::kernel_scenarios::kernel_scenarios(false) {
+        bench_case("kernel", sc.name, 7, &mut sc.run);
+    }
 }

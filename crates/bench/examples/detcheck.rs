@@ -1,0 +1,103 @@
+//! Determinism fingerprint: run PHOLD and the gate-level simulator on all
+//! three executives and print every deterministic observable (stats
+//! field-by-field, final states / trace hashes, platform outcome, probe
+//! telemetry). Run this at two commits and diff the output to prove a
+//! kernel change preserved behavior exactly.
+
+use pls_gatesim::{fingerprint, SimConfig};
+use pls_netlist::IscasSynth;
+use pls_timewarp::{
+    Application, Backend, Cancellation, KernelConfig, KernelStats, Phold, PlatformConfig, Simulator,
+};
+
+fn stats_line(tag: &str, s: &KernelStats) {
+    println!(
+        "{tag}: batches={} processed={} rolled_back={} committed={} prim={} sec={} antis={} \
+         annih={} app_msgs={} anti_remote={} saved={} coasted={} gvt_rounds={} final_gvt={} hw={}",
+        s.batches_executed,
+        s.events_processed,
+        s.events_rolled_back,
+        s.events_committed,
+        s.primary_rollbacks,
+        s.secondary_rollbacks,
+        s.antis_sent,
+        s.annihilated_pending,
+        s.app_messages,
+        s.anti_messages_remote,
+        s.states_saved,
+        s.events_coasted,
+        s.gvt_rounds,
+        s.final_gvt,
+        s.state_queue_high_water,
+    );
+}
+
+fn main() {
+    // --- PHOLD on the deterministic executives, all cancellation modes.
+    let model = Phold {
+        lps: 12,
+        population_per_lp: 3,
+        mean_delay: 3,
+        locality_pct: 30,
+        horizon: 400,
+        seed: 42,
+    };
+    let assignment: Vec<u32> = (0..model.lps).map(|i| (i % 3) as u32).collect();
+
+    let seq = Simulator::new(&model).run(Backend::Sequential).unwrap();
+    stats_line("phold/seq", &seq.stats);
+    println!("phold/seq states: {:?}", seq.states);
+
+    for (tag, cancellation, ckpt) in [
+        ("aggr", Cancellation::Aggressive, 1u32),
+        ("lazy", Cancellation::Lazy, 1),
+        ("lazy_sparse", Cancellation::Lazy, 4),
+    ] {
+        let pcfg = PlatformConfig {
+            kernel: KernelConfig { cancellation, checkpoint_interval: ckpt, ..Default::default() },
+            ..Default::default()
+        };
+        let rep = Simulator::new(&model)
+            .platform_config(&pcfg)
+            .record(50)
+            .run(Backend::Platform { assignment: &assignment, nodes: 3 })
+            .unwrap();
+        stats_line(&format!("phold/plat3/{tag}"), &rep.stats);
+        println!("phold/plat3/{tag} states_match_seq: {}", rep.states == seq.states);
+        println!(
+            "phold/plat3/{tag} exec_time_s: {:.9} clocks: {:?}",
+            rep.outcome.exec_time_s().unwrap(),
+            rep.outcome.node_clocks_ns().unwrap()
+        );
+        println!("phold/plat3/{tag} telemetry:\n{}", rep.telemetry.unwrap().to_jsonl());
+    }
+
+    let thr_asg: Vec<u32> = (0..model.lps).map(|i| (i % 2) as u32).collect();
+    let thr = Simulator::new(&model)
+        .run(Backend::Threaded { assignment: &thr_asg, clusters: 2 })
+        .unwrap();
+    println!("phold/thr2 states_match_seq: {}", thr.states == seq.states);
+
+    // --- Gate-level circuit.
+    let netlist = IscasSynth::small(120, 3).build();
+    let cfg = SimConfig { end_time: 80, ..Default::default() };
+    let app = cfg.build_app(&netlist);
+    let gasg: Vec<u32> = (0..app.num_lps()).map(|i| (i % 4) as u32).collect();
+
+    let gseq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+    stats_line("gates/seq", &gseq.stats);
+    println!("gates/seq fingerprint: {:?}", fingerprint(&gseq.states));
+
+    let gplat = Simulator::new(&app)
+        .record(20)
+        .run(Backend::Platform { assignment: &gasg, nodes: 4 })
+        .unwrap();
+    stats_line("gates/plat4", &gplat.stats);
+    println!("gates/plat4 fingerprint: {:?}", fingerprint(&gplat.states));
+    println!("gates/plat4 telemetry:\n{}", gplat.telemetry.unwrap().to_jsonl());
+
+    let gthr_asg: Vec<u32> = (0..app.num_lps()).map(|i| (i % 2) as u32).collect();
+    let gthr =
+        Simulator::new(&app).run(Backend::Threaded { assignment: &gthr_asg, clusters: 2 }).unwrap();
+    println!("gates/thr2 fingerprint: {:?}", fingerprint(&gthr.states));
+}

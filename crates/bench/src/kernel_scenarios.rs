@@ -1,0 +1,176 @@
+//! The kernel benchmark scenario suite shared by `benches/kernel.rs` and
+//! the `bench_kernel` binary (which writes `BENCH_kernel.json`, the perf
+//! trajectory tracked across PRs — see `docs/TELEMETRY.md`).
+//!
+//! Every scenario is deterministic (virtual-platform or sequential
+//! executive, fixed seeds), so the only run-to-run variance is the host
+//! machine — ns/event medians are comparable within one machine.
+
+use pls_gatesim::SimConfig;
+use pls_netlist::IscasSynth;
+use pls_partition::{CircuitGraph, MultilevelPartitioner, Partitioner};
+use pls_timewarp::{
+    Backend, Cancellation, CostModel, KernelConfig, Phold, PlatformConfig, Simulator,
+};
+
+/// One named, repeatable kernel workload. `run` executes it once and
+/// returns the number of events processed (the ns/event denominator).
+pub struct KernelScenario {
+    /// Stable scenario name (the `BENCH_kernel.json` key).
+    pub name: &'static str,
+    /// Execute the workload once, returning events processed.
+    pub run: Box<dyn FnMut() -> u64>,
+}
+
+fn striped(n: usize, parts: usize) -> Vec<u32> {
+    // Deterministic pseudo-random assignment: neighbours usually land on
+    // different nodes, so ring/forward traffic crosses boundaries.
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+            (h % parts as u64) as u32
+        })
+        .collect()
+}
+
+/// Build the benchmark suite. `smoke` shrinks every workload (~10×) for
+/// the CI perf-smoke step; the full size is what `BENCH_kernel.json`
+/// records.
+pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
+    let mut out: Vec<KernelScenario> = Vec::new();
+    let scale = |full: u64, small: u64| if smoke { small } else { full };
+
+    // 1. Sequential gate-level baseline: pure event-queue throughput, no
+    //    Time Warp machinery.
+    {
+        let gates = scale(800, 150) as usize;
+        let netlist = IscasSynth::small(gates, 3).build();
+        let cfg = SimConfig { end_time: scale(150, 80), ..Default::default() };
+        let app = cfg.build_app(&netlist);
+        out.push(KernelScenario {
+            name: "sequential_gates",
+            run: Box::new(move || {
+                Simulator::new(&app).run(Backend::Sequential).unwrap().stats.events_processed
+            }),
+        });
+    }
+
+    // 2. Gate-level circuit on 4 virtual nodes with the paper's multilevel
+    //    partitioner: the "normal" optimistic workload.
+    {
+        let gates = scale(800, 150) as usize;
+        let netlist = IscasSynth::small(gates, 3).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let cfg = SimConfig { end_time: scale(150, 80), ..Default::default() };
+        let app = cfg.build_app(&netlist);
+        let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+        out.push(KernelScenario {
+            name: "gates_platform4",
+            run: Box::new(move || {
+                Simulator::new(&app)
+                    .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
+                    .unwrap()
+                    .stats
+                    .events_processed
+            }),
+        });
+    }
+
+    // 3. Straggler-heavy: PHOLD with low locality on an adversarial
+    //    (striped) assignment — most forwards cross node boundaries, so
+    //    late-arriving remote events constantly roll LPs back. Exercises
+    //    the event pool, the rollback/coast-forward path and the pending
+    //    queue under churn.
+    {
+        let model = Phold {
+            lps: scale(48, 16) as usize,
+            population_per_lp: 4,
+            mean_delay: 4,
+            locality_pct: 10,
+            horizon: scale(1500, 300),
+            seed: 0xF01D,
+        };
+        let assignment = striped(model.lps, 4);
+        out.push(KernelScenario {
+            name: "straggler_heavy",
+            run: Box::new(move || {
+                Simulator::new(&model)
+                    .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+                    .unwrap()
+                    .stats
+                    .events_processed
+            }),
+        });
+    }
+
+    // 4. Anti-heavy: zero locality, dense timestamps and a long-latency
+    //    wire, under aggressive cancellation — rollbacks cancel in-flight
+    //    outputs, so anti-messages chase positives across nodes and the
+    //    annihilation paths (pending + processed lookups) run hot.
+    {
+        let model = Phold {
+            lps: scale(48, 16) as usize,
+            population_per_lp: 6,
+            mean_delay: 2,
+            locality_pct: 0,
+            horizon: scale(1000, 250),
+            seed: 0xA171,
+        };
+        let assignment = striped(model.lps, 4);
+        let cost = CostModel {
+            net_latency_ns: 400_000, // ~4.4× the default: deep speculation
+            ..CostModel::default()
+        };
+        let pcfg = PlatformConfig {
+            kernel: KernelConfig { cancellation: Cancellation::Aggressive, ..Default::default() },
+            cost,
+            state_limit_per_node: None,
+        };
+        out.push(KernelScenario {
+            name: "anti_heavy",
+            run: Box::new(move || {
+                Simulator::new(&model)
+                    .platform_config(&pcfg)
+                    .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+                    .unwrap()
+                    .stats
+                    .events_processed
+            }),
+        });
+    }
+
+    // 5. Lazy cancellation with sparse checkpoints: the pending_cancel
+    //    regeneration filter plus coast-forward replay dominate.
+    {
+        let model = Phold {
+            lps: scale(48, 16) as usize,
+            population_per_lp: 4,
+            mean_delay: 4,
+            locality_pct: 10,
+            horizon: scale(1000, 250),
+            seed: 0x1A2B,
+        };
+        let assignment = striped(model.lps, 4);
+        let pcfg = PlatformConfig {
+            kernel: KernelConfig {
+                cancellation: Cancellation::Lazy,
+                checkpoint_interval: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        out.push(KernelScenario {
+            name: "lazy_sparse_ckpt",
+            run: Box::new(move || {
+                Simulator::new(&model)
+                    .platform_config(&pcfg)
+                    .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+                    .unwrap()
+                    .stats
+                    .events_processed
+            }),
+        });
+    }
+
+    out
+}

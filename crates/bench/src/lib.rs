@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod kernel_scenarios;
+
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
@@ -269,6 +271,57 @@ pub fn bench_case<T>(group: &str, name: &str, samples: usize, mut f: impl FnMut(
     let min = times.iter().min().unwrap();
     let mean = times.iter().sum::<std::time::Duration>() / samples as u32;
     println!("{group}/{name}: min {min:?}  mean {mean:?}  ({samples} samples)");
+}
+
+/// One timed sample of a kernel benchmark scenario: wall time and the
+/// number of events the run processed (the denominator of ns/event).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchSample {
+    /// Wall-clock duration of the run.
+    pub wall: std::time::Duration,
+    /// Events processed by the run.
+    pub events: u64,
+}
+
+/// Summary of repeated samples of one scenario, in ns per processed event
+/// (the unit `BENCH_kernel.json` tracks across PRs — see
+/// `docs/TELEMETRY.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchSummary {
+    /// Median ns/event across samples (the tracked headline number).
+    pub median_ns_per_event: f64,
+    /// Fastest sample's ns/event.
+    pub min_ns_per_event: f64,
+    /// Events processed per run (identical across samples — the
+    /// scenarios are deterministic).
+    pub events: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Run `f` `samples` times (after one warm-up) and summarize ns/event.
+/// `f` returns the number of events the run processed; the result of the
+/// work itself must be consumed inside `f` (wrap in
+/// [`std::hint::black_box`] as needed).
+pub fn bench_events(samples: usize, mut f: impl FnMut() -> u64) -> BenchSummary {
+    assert!(samples >= 1);
+    std::hint::black_box(f()); // warm-up
+    let mut rates: Vec<f64> = Vec::with_capacity(samples);
+    let mut events = 0u64;
+    for _ in 0..samples {
+        let t0 = std::time::Instant::now();
+        events = std::hint::black_box(f());
+        let wall = t0.elapsed();
+        assert!(events > 0, "a benchmark scenario processed no events");
+        rates.push(wall.as_nanos() as f64 / events as f64);
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("ns/event is finite"));
+    let median = if rates.len() % 2 == 1 {
+        rates[rates.len() / 2]
+    } else {
+        (rates[rates.len() / 2 - 1] + rates[rates.len() / 2]) / 2.0
+    };
+    BenchSummary { median_ns_per_event: median, min_ns_per_event: rates[0], events, samples }
 }
 
 /// Render a simple ASCII series table: one labelled row of values per

@@ -28,6 +28,26 @@ impl<M> EventSink<M> {
         EventSink { now, out: Vec::new() }
     }
 
+    /// Build a sink on top of a recycled buffer, so the per-batch hot path
+    /// reuses one allocation instead of growing a fresh `Vec` every call.
+    pub(crate) fn with_buffer(now: VTime, mut out: Vec<(LpId, VTime, M)>) -> EventSink<M> {
+        out.clear();
+        EventSink { now, out }
+    }
+
+    /// Retarget the sink at a new batch time, discarding collected sends
+    /// (coast-forward replays events without re-emitting).
+    pub(crate) fn reset(&mut self, now: VTime) {
+        self.now = now;
+        self.out.clear();
+    }
+
+    /// Reclaim the underlying buffer (emptied) for later reuse.
+    pub(crate) fn into_buf(mut self) -> Vec<(LpId, VTime, M)> {
+        self.out.clear();
+        self.out
+    }
+
     /// The virtual time of the executing event batch.
     pub fn now(&self) -> VTime {
         self.now

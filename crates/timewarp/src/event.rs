@@ -64,6 +64,15 @@ impl<M> Transmission<M> {
         }
     }
 
+    /// Event identity of either kind (an anti carries the id of the
+    /// positive it annihilates).
+    pub fn id(&self) -> EventId {
+        match self {
+            Transmission::Positive(e) => e.id,
+            Transmission::Anti(a) => a.id,
+        }
+    }
+
     /// Receive time of either kind.
     pub fn recv_time(&self) -> VTime {
         match self {

@@ -31,6 +31,7 @@ pub mod event;
 pub mod lp;
 pub mod phold;
 pub mod platform;
+pub mod pool;
 pub mod probe;
 pub mod sequential;
 pub mod series;
@@ -50,11 +51,3 @@ pub use series::{Bucket, BucketKey, TimeSeries};
 pub use sim::{Backend, Outcome, RunReport, SimError, Simulator};
 pub use stats::{KernelStats, LpCounters};
 pub use time::VTime;
-
-// Deprecated pre-0.2 entry points, kept for one release.
-#[allow(deprecated)]
-pub use platform::{run_platform, PlatformError, PlatformResult};
-#[allow(deprecated)]
-pub use sequential::{run_sequential, SequentialResult};
-#[allow(deprecated)]
-pub use threaded::{run_threaded, ThreadedResult};

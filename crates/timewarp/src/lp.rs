@@ -4,11 +4,13 @@
 //! executives differ only in *where* LPs live and *how* transmissions
 //! travel between them.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::app::{Application, EventSink};
 use crate::config::{Cancellation, KernelConfig};
 use crate::event::{AntiEvent, Event, EventId, LpId, Transmission};
+use crate::pool::{EventPool, IdHashBuilder, Loc, Slot};
 use crate::probe::{Probe, RollbackKind};
 use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
@@ -36,8 +38,19 @@ pub struct LpRuntime<A: Application> {
     /// are unique across the whole run even when sends are re-generated
     /// after a rollback.
     out_seq: u64,
-    /// Unprocessed events, ordered by `(recv_time, id)`.
-    pending: BTreeMap<(VTime, EventId), Event<A::Msg>>,
+    /// Unprocessed events, slab-allocated; ordering lives in `heap`.
+    pool: EventPool<A::Msg>,
+    /// Index min-heap over the pool, keyed `(recv_time, id, slot)` so pop
+    /// order reproduces the old `BTreeMap<(VTime, EventId), _>` iteration
+    /// exactly. Entries go stale when their event is removed through the
+    /// annihilation index; stale entries are discarded lazily, and every
+    /// mutating method leaves the *top* valid (see [`Self::heap_skim`]) so
+    /// [`Self::next_time`] stays a pure peek.
+    heap: BinaryHeap<Reverse<(VTime, EventId, Slot)>>,
+    /// Annihilation index: where every live inbound event id is right now
+    /// (pending slot / processed / orphan anti). Turns anti-message
+    /// matching from a queue scan into one hash lookup.
+    index: HashMap<EventId, Loc, IdHashBuilder>,
     /// Processed events in execution order (non-decreasing recv_time).
     processed: Vec<Event<A::Msg>>,
     /// State checkpoints, oldest first; index 0 is always usable.
@@ -49,6 +62,11 @@ pub struct LpRuntime<A: Application> {
     /// regeneration (annihilate silently) or an explicit anti-message once
     /// LVT passes their send time. Sorted by `send_time`.
     pending_cancel: Vec<Event<A::Msg>>,
+    /// Held-cancellation count per `(dst, recv_time)`: O(1) rejection in
+    /// front of the linear regeneration scan over `pending_cancel` (the
+    /// message payload is only `PartialEq`, so a full hash key over the
+    /// triple is not available).
+    cancel_keys: HashMap<(LpId, VTime), u32, IdHashBuilder>,
     /// Anti-messages that arrived before their positives (cannot happen on
     /// FIFO transports, handled for robustness).
     orphan_antis: Vec<AntiEvent>,
@@ -56,6 +74,11 @@ pub struct LpRuntime<A: Application> {
     cfg: KernelConfig,
     /// This LP's own counters (aggregates live in [`KernelStats`]).
     own: LpCounters,
+    /// Scratch buffers reused across `execute_next`/`rollback_to` calls so
+    /// the steady-state hot path performs no allocation.
+    batch: Vec<Event<A::Msg>>,
+    msgs: Vec<(LpId, A::Msg)>,
+    sink_buf: Vec<(LpId, VTime, A::Msg)>,
 }
 
 impl<A: Application> LpRuntime<A> {
@@ -79,15 +102,21 @@ impl<A: Application> LpRuntime<A> {
             state: state.clone(),
             lvt: VTime::ZERO,
             out_seq: 0,
-            pending: BTreeMap::new(),
+            pool: EventPool::default(),
+            heap: BinaryHeap::new(),
+            index: HashMap::default(),
             processed: Vec::new(),
             states: vec![SavedState { tag: None, processed_len: 0, state }],
             outputs: Vec::new(),
             pending_cancel: Vec::new(),
+            cancel_keys: HashMap::default(),
             orphan_antis: Vec::new(),
             batches_since_checkpoint: 0,
             cfg: cfg.normalized(),
             own: LpCounters::default(),
+            batch: Vec::new(),
+            msgs: Vec::new(),
+            sink_buf: Vec::new(),
         };
         for (dst, at, msg) in sink.out {
             outbox.push(lp.make_event(dst, VTime::ZERO, at, msg));
@@ -118,7 +147,14 @@ impl<A: Application> LpRuntime<A> {
 
     /// Receive time of the earliest unprocessed event, or [`VTime::INF`].
     pub fn next_time(&self) -> VTime {
-        self.pending.keys().next().map(|&(t, _)| t).unwrap_or(VTime::INF)
+        debug_assert!(
+            self.heap.peek().is_none_or(|&Reverse((_, id, slot))| self
+                .pool
+                .get(slot)
+                .is_some_and(|e| e.id == id)),
+            "heap top must be valid between mutations"
+        );
+        self.heap.peek().map(|&Reverse((t, _, _))| t).unwrap_or(VTime::INF)
     }
 
     /// Contribution of this LP to the GVT estimate: its earliest
@@ -136,7 +172,7 @@ impl<A: Application> LpRuntime<A> {
 
     /// Total unprocessed events currently queued.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pool.len()
     }
 
     /// This LP's own counters (hotspot analysis).
@@ -161,6 +197,59 @@ impl<A: Application> LpRuntime<A> {
         let id = EventId { src: self.id, seq: self.out_seq };
         self.out_seq += 1;
         Event { id, dst, send_time: send, recv_time: recv, msg }
+    }
+
+    /// File `ev` as pending: slab slot + heap key + index entry. A fresh
+    /// heap entry is valid by construction, so the top stays valid.
+    fn pending_insert(&mut self, ev: Event<A::Msg>) {
+        let (t, id) = (ev.recv_time, ev.id);
+        let slot = self.pool.insert(ev);
+        self.heap.push(Reverse((t, id, slot)));
+        let prev = self.index.insert(id, Loc::Pending(slot));
+        debug_assert!(
+            matches!(prev, None | Some(Loc::Processed)),
+            "pending insert over a live pending/orphan id"
+        );
+    }
+
+    /// Restore the heap-top invariant after a removal: discard entries
+    /// whose slot was freed or re-used by a different event until the top
+    /// references a live pending event (or the heap is empty).
+    fn heap_skim(&mut self) {
+        while let Some(&Reverse((_, id, slot))) = self.heap.peek() {
+            if self.pool.get(slot).is_some_and(|e| e.id == id) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Annihilate a pending event by id in O(1) (plus heap-top upkeep).
+    fn remove_pending(&mut self, id: EventId) -> Option<Event<A::Msg>> {
+        match self.index.get(&id) {
+            Some(&Loc::Pending(slot)) => {
+                self.index.remove(&id);
+                let ev = self.pool.remove(slot);
+                self.heap_skim();
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+
+    fn cancel_key_inc(&mut self, dst: LpId, recv: VTime) {
+        *self.cancel_keys.entry((dst, recv)).or_insert(0) += 1;
+    }
+
+    fn cancel_key_dec(&mut self, dst: LpId, recv: VTime) {
+        if let Some(c) = self.cancel_keys.get_mut(&(dst, recv)) {
+            *c -= 1;
+            if *c == 0 {
+                self.cancel_keys.remove(&(dst, recv));
+            }
+        } else {
+            debug_assert!(false, "cancel-key filter out of sync with pending_cancel");
+        }
     }
 
     /// Deliver a transmission to this LP. Performs annihilation and (if the
@@ -193,8 +282,13 @@ impl<A: Application> LpRuntime<A> {
             eprintln!("[lp{}] recv+ {:?} @{} lvt={}", self.id, ev.id, ev.recv_time, self.lvt);
         }
         // An orphan anti may already be waiting for this positive.
-        if let Some(pos) = self.orphan_antis.iter().position(|a| a.id == ev.id) {
-            self.orphan_antis.swap_remove(pos);
+        if let Some(&Loc::OrphanAnti(pos)) = self.index.get(&ev.id) {
+            self.index.remove(&ev.id);
+            self.orphan_antis.swap_remove(pos as usize);
+            // swap_remove moved the former tail into `pos`: re-point it.
+            if let Some(moved_id) = self.orphan_antis.get(pos as usize).map(|a| a.id) {
+                self.index.insert(moved_id, Loc::OrphanAnti(pos));
+            }
             stats.annihilated_pending += 1;
             probe.annihilated(self.id, ev.recv_time);
             self.flush_lazy(self.next_time(), stats, outbox, probe);
@@ -206,7 +300,7 @@ impl<A: Application> LpRuntime<A> {
             self.own.rollbacks += 1;
             self.rollback_to(app, ev.recv_time, RollbackKind::Primary, stats, outbox, probe);
         }
-        self.pending.insert((ev.recv_time, ev.id), ev);
+        self.pending_insert(ev);
         self.flush_lazy(self.next_time(), stats, outbox, probe);
     }
 
@@ -222,33 +316,59 @@ impl<A: Application> LpRuntime<A> {
         if self.traced() {
             eprintln!("[lp{}] recv- {:?} @{} lvt={}", self.id, anti.id, anti.recv_time, self.lvt);
         }
-        let key = (anti.recv_time, anti.id);
-        if self.pending.remove(&key).is_some() {
-            stats.annihilated_pending += 1;
-            probe.annihilated(self.id, anti.recv_time);
-            // Removing the pending event may raise the earliest possible
-            // batch time; held cancellations below it must go out now.
-            self.flush_lazy(self.next_time(), stats, outbox, probe);
-            return;
+        // One index lookup decides the annihilation case — no queue scans.
+        match self.index.get(&anti.id).copied() {
+            Some(Loc::Pending(_)) => {
+                let removed = self.remove_pending(anti.id);
+                debug_assert!(removed.is_some_and(|e| e.recv_time == anti.recv_time));
+                stats.annihilated_pending += 1;
+                probe.annihilated(self.id, anti.recv_time);
+                // Removing the pending event may raise the earliest possible
+                // batch time; held cancellations below it must go out now.
+                self.flush_lazy(self.next_time(), stats, outbox, probe);
+            }
+            Some(Loc::Processed) => {
+                // The positive is already executed: cancellation requires a
+                // rollback to its receive time first.
+                debug_assert!(anti.recv_time <= self.lvt, "processed events sit at or below LVT");
+                stats.secondary_rollbacks += 1;
+                self.own.rollbacks += 1;
+                self.rollback_to(
+                    app,
+                    anti.recv_time,
+                    RollbackKind::Secondary,
+                    stats,
+                    outbox,
+                    probe,
+                );
+                // The rollback re-files the positive as pending. A miss here
+                // means the queues are corrupt, and limping on would
+                // re-execute a cancelled event — fail hard in release too.
+                let removed = self.remove_pending(anti.id);
+                assert!(
+                    removed.is_some(),
+                    "annihilation target {:?} missing from pending after secondary rollback",
+                    anti.id
+                );
+                stats.annihilated_pending += 1;
+                probe.annihilated(self.id, anti.recv_time);
+                // Annihilation may have emptied the queue (or moved next_time
+                // past held cancellations): close the regeneration window so
+                // the LP cannot park with unsent anti-messages.
+                self.flush_lazy(self.next_time(), stats, outbox, probe);
+            }
+            Some(Loc::OrphanAnti(_)) => {
+                // A second anti for the same id cannot occur on reliable
+                // transports; dropping it is strictly safer than queueing a
+                // duplicate orphan.
+                debug_assert!(false, "duplicate anti-message {:?}", anti.id);
+            }
+            None => {
+                // Anti before its positive: remember it.
+                self.index.insert(anti.id, Loc::OrphanAnti(self.orphan_antis.len() as u32));
+                self.orphan_antis.push(anti);
+            }
         }
-        // The positive may already be processed: cancellation requires a
-        // rollback to its receive time first.
-        if anti.recv_time <= self.lvt && self.processed.iter().any(|e| e.id == anti.id) {
-            stats.secondary_rollbacks += 1;
-            self.own.rollbacks += 1;
-            self.rollback_to(app, anti.recv_time, RollbackKind::Secondary, stats, outbox, probe);
-            let removed = self.pending.remove(&key);
-            debug_assert!(removed.is_some(), "unprocessed straggler must be in pending");
-            stats.annihilated_pending += 1;
-            probe.annihilated(self.id, anti.recv_time);
-            // Annihilation may have emptied the queue (or moved next_time
-            // past held cancellations): close the regeneration window so
-            // the LP cannot park with unsent anti-messages.
-            self.flush_lazy(self.next_time(), stats, outbox, probe);
-            return;
-        }
-        // Anti before its positive: remember it.
-        self.orphan_antis.push(anti);
     }
 
     /// Send the held anti-messages whose regeneration window has closed:
@@ -270,17 +390,24 @@ impl<A: Application> LpRuntime<A> {
         }
         let cut = self.pending_cancel.partition_point(|e| e.send_time < bound);
         let traced = self.traced();
-        for e in self.pending_cancel.drain(..cut) {
+        for i in 0..cut {
+            let (dst, recv) = {
+                let e = &self.pending_cancel[i];
+                (e.dst, e.recv_time)
+            };
+            self.cancel_key_dec(dst, recv);
+            let e = &self.pending_cancel[i];
             stats.antis_sent += 1;
             probe.anti_sent(self.id, e.send_time);
             if traced {
                 eprintln!(
-                    "[lp?]   flush-anti {:?} ->{} @{} (bound {})",
-                    e.id, e.dst, e.recv_time, bound
+                    "[lp{}]   flush-anti {:?} ->{} @{} (bound {})",
+                    self.id, e.id, e.dst, e.recv_time, bound
                 );
             }
             outbox.push(Transmission::Anti(e.anti()));
         }
+        self.pending_cancel.drain(..cut);
     }
 
     /// Execute the earliest pending batch (all events sharing the minimum
@@ -295,42 +422,54 @@ impl<A: Application> LpRuntime<A> {
     ) {
         let now = self.next_time();
         assert!(!now.is_inf(), "execute_next on an idle LP");
-        if self.traced() {
-            let keys: Vec<_> = self.pending.keys().filter(|k| k.0 == now).collect();
-            eprintln!("[lp{}] exec @{} batch={:?}", self.id, now, keys);
-        }
-        // Pop the batch. BTreeMap order gives deterministic (src, seq)
-        // message order within the batch.
-        let mut batch: Vec<Event<A::Msg>> = Vec::new();
-        while let Some(entry) = self.pending.first_entry() {
-            if entry.key().0 != now {
+        // Pop the batch. Heap order reproduces the old BTreeMap's
+        // deterministic (recv_time, src, seq) message order.
+        self.batch.clear();
+        while let Some(&Reverse((t, id, slot))) = self.heap.peek() {
+            if t != now {
                 break;
             }
-            batch.push(entry.remove());
+            self.heap.pop();
+            let ev = self.pool.remove(slot);
+            debug_assert_eq!(ev.id, id);
+            self.index.insert(id, Loc::Processed);
+            self.heap_skim();
+            self.batch.push(ev);
         }
-        let msgs: Vec<(LpId, A::Msg)> = batch.iter().map(|e| (e.id.src, e.msg.clone())).collect();
+        if self.traced() {
+            let keys: Vec<_> = self.batch.iter().map(|e| (e.recv_time, e.id)).collect();
+            eprintln!("[lp{}] exec @{} batch={:?}", self.id, now, keys);
+        }
+        self.msgs.clear();
+        self.msgs.extend(self.batch.iter().map(|e| (e.id.src, e.msg.clone())));
 
-        let mut sink = EventSink::new(now);
-        app.execute(self.id, &mut self.state, now, &msgs, &mut sink);
+        let mut sink = EventSink::with_buffer(now, std::mem::take(&mut self.sink_buf));
+        app.execute(self.id, &mut self.state, now, &self.msgs, &mut sink);
 
         stats.batches_executed += 1;
-        stats.events_processed += batch.len() as u64;
-        self.own.events_processed += batch.len() as u64;
-        probe.batch_executed(self.id, now, batch.len() as u64);
+        stats.events_processed += self.batch.len() as u64;
+        self.own.events_processed += self.batch.len() as u64;
+        probe.batch_executed(self.id, now, self.batch.len() as u64);
         self.lvt = now;
-        self.processed.append(&mut batch);
+        self.processed.append(&mut self.batch);
 
         // Route the new sends.
-        for (dst, recv, msg) in std::mem::take(&mut sink.out) {
-            if self.cfg.cancellation == Cancellation::Lazy {
+        for (dst, recv, msg) in sink.out.drain(..) {
+            if self.cfg.cancellation == Cancellation::Lazy
+                && self.cancel_keys.contains_key(&(dst, recv))
+            {
                 // Regeneration check: an identical event is already live at
-                // the receiver — drop both the send and the held anti.
+                // the receiver — drop both the send and the held anti. (The
+                // key filter above rejects the common no-candidate case in
+                // O(1); the scan only runs when (dst, recv_time) matches a
+                // held cancellation.)
                 if let Some(pos) = self
                     .pending_cancel
                     .iter()
                     .position(|e| e.dst == dst && e.recv_time == recv && e.msg == msg)
                 {
                     let mut original = self.pending_cancel.remove(pos);
+                    self.cancel_key_dec(dst, recv);
                     if self.traced() {
                         eprintln!(
                             "[lp{}]   suppress {:?} ->{} @{}",
@@ -361,6 +500,7 @@ impl<A: Application> LpRuntime<A> {
             self.outputs.push(ev.clone());
             outbox.push(Transmission::Positive(ev));
         }
+        self.sink_buf = sink.into_buf();
 
         // Lazy cancellation flush: anything below the next possible batch
         // time can no longer be regenerated — send those antis now. (When
@@ -403,8 +543,9 @@ impl<A: Application> LpRuntime<A> {
         let undone = (self.processed.len() - cut) as u64;
         stats.events_rolled_back += undone;
         self.own.events_rolled_back += undone;
-        for ev in self.processed.split_off(cut) {
-            self.pending.insert((ev.recv_time, ev.id), ev);
+        while self.processed.len() > cut {
+            let ev = self.processed.pop().expect("length checked");
+            self.pending_insert(ev);
         }
 
         // 2. Restore the newest state strictly before `to` (`tag: None`,
@@ -422,17 +563,21 @@ impl<A: Application> LpRuntime<A> {
 
         // 3. Cancel in-flight outputs sent at or after `to`.
         let ocut = self.outputs.partition_point(|e| e.send_time < to);
-        let cancelled = self.outputs.split_off(ocut);
         match self.cfg.cancellation {
             Cancellation::Aggressive => {
-                for e in cancelled {
+                for e in &self.outputs[ocut..] {
                     stats.antis_sent += 1;
                     probe.anti_sent(self.id, e.send_time);
                     outbox.push(Transmission::Anti(e.anti()));
                 }
+                self.outputs.truncate(ocut);
             }
             Cancellation::Lazy => {
-                for e in cancelled {
+                // Forward order + insert-after-equals keeps the relative
+                // order of equal send times, which the first-match
+                // regeneration scan depends on.
+                for e in self.outputs.split_off(ocut) {
+                    self.cancel_key_inc(e.dst, e.recv_time);
                     let at = self.pending_cancel.partition_point(|x| x.send_time <= e.send_time);
                     self.pending_cancel.insert(at, e);
                 }
@@ -443,6 +588,7 @@ impl<A: Application> LpRuntime<A> {
         //    the checkpoint and `to` to rebuild the pre-straggler state.
         let coasted = (self.processed.len() - replay_from) as u64;
         stats.events_coasted += coasted;
+        let mut sink = EventSink::with_buffer(VTime::ZERO, std::mem::take(&mut self.sink_buf));
         let mut i = replay_from;
         while i < self.processed.len() {
             let t = self.processed[i].recv_time;
@@ -450,14 +596,15 @@ impl<A: Application> LpRuntime<A> {
             while j < self.processed.len() && self.processed[j].recv_time == t {
                 j += 1;
             }
-            let msgs: Vec<(LpId, A::Msg)> =
-                self.processed[i..j].iter().map(|e| (e.id.src, e.msg.clone())).collect();
-            let mut sink = EventSink::new(t);
-            app.execute(self.id, &mut self.state, t, &msgs, &mut sink);
+            self.msgs.clear();
+            self.msgs.extend(self.processed[i..j].iter().map(|e| (e.id.src, e.msg.clone())));
+            sink.reset(t);
+            app.execute(self.id, &mut self.state, t, &self.msgs, &mut sink);
             // Sends are NOT re-emitted: the originals (sent before `to`)
             // were never cancelled and still stand.
             i = j;
         }
+        self.sink_buf = sink.into_buf();
 
         // 5. Reset the local clock.
         self.lvt = self.processed.last().map(|e| e.recv_time).unwrap_or(VTime::ZERO);
@@ -481,17 +628,27 @@ impl<A: Application> LpRuntime<A> {
             s.processed_len -= floor;
         }
         let mut committed = floor as u64;
-        self.processed.drain(..floor);
+        for ev in self.processed.drain(..floor) {
+            let prev = self.index.remove(&ev.id);
+            debug_assert_eq!(prev, Some(Loc::Processed), "committed event had a live index entry");
+        }
 
         let ocut = self.outputs.partition_point(|e| e.send_time < gvt);
         self.outputs.drain(..ocut);
 
         if gvt.is_inf() {
             committed += self.processed.len() as u64;
-            self.processed.clear();
+            for ev in self.processed.drain(..) {
+                let prev = self.index.remove(&ev.id);
+                debug_assert_eq!(prev, Some(Loc::Processed));
+            }
             debug_assert!(
                 self.pending_cancel.is_empty(),
                 "unsent lazy antis would have held GVT below ∞"
+            );
+            debug_assert!(
+                self.cancel_keys.is_empty(),
+                "cancel-key filter must drain with pending_cancel"
             );
         }
         stats.events_committed += committed;

@@ -23,7 +23,7 @@ use crate::config::{ConfigError, KernelConfig};
 use crate::cost::CostModel;
 use crate::event::{LpId, Transmission};
 use crate::lp::LpRuntime;
-use crate::probe::{NoProbe, Probe};
+use crate::probe::Probe;
 use crate::sim::{Outcome, RunReport, SimError};
 use crate::stats::KernelStats;
 use crate::time::VTime;
@@ -94,53 +94,6 @@ impl PlatformConfigBuilder {
     }
 }
 
-/// Why a platform run ended without a result.
-#[deprecated(since = "0.2.0", note = "use `SimError` via the `Simulator` API")]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PlatformError {
-    /// A node exceeded [`PlatformConfig::state_limit_per_node`].
-    OutOfMemory {
-        /// The node that died.
-        node: usize,
-        /// Checkpoints held at the time.
-        states_held: u64,
-    },
-}
-
-#[allow(deprecated)]
-impl std::fmt::Display for PlatformError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PlatformError::OutOfMemory { node, states_held } => {
-                write!(f, "node {node} ran out of memory ({states_held} saved states)")
-            }
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl std::error::Error for PlatformError {}
-
-/// Result of a virtual-platform run.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunReport` via `Simulator::new(app).run(Backend::Platform { .. })`"
-)]
-#[derive(Debug)]
-pub struct PlatformResult<A: Application> {
-    /// Aggregated Time Warp statistics.
-    pub stats: KernelStats,
-    /// Makespan: the largest node clock, in modeled seconds — the paper's
-    /// "Execution Time - secs" axis.
-    pub exec_time_s: f64,
-    /// Final clock of every node, in nanoseconds.
-    pub node_clocks_ns: Vec<u64>,
-    /// Per-LP counters (rollback/load hotspots).
-    pub lp_stats: Vec<crate::stats::LpCounters>,
-    /// Final committed state of every LP.
-    pub states: Vec<A::State>,
-}
-
 /// One simulated workstation.
 struct Node {
     clock_ns: u64,
@@ -154,41 +107,6 @@ struct Node {
 struct Flight<M> {
     arrive_ns: u64,
     tx: Transmission<M>,
-}
-
-/// Run `app` on `nodes` simulated workstations with the given LP→node
-/// assignment (`assignment[lp] = node`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Simulator::new(app).platform_config(&cfg).run(Backend::Platform { .. })`"
-)]
-#[allow(deprecated)]
-pub fn run_platform<A: Application>(
-    app: &A,
-    assignment: &[u32],
-    nodes: usize,
-    cfg: &PlatformConfig,
-) -> Result<PlatformResult<A>, PlatformError> {
-    match platform_core(app, assignment, nodes, cfg, &mut NoProbe) {
-        Ok(report) => {
-            let (exec_time_s, node_clocks_ns) = match report.outcome {
-                Outcome::Platform { exec_time_s, node_clocks_ns } => (exec_time_s, node_clocks_ns),
-                _ => unreachable!("platform core reports a platform outcome"),
-            };
-            Ok(PlatformResult {
-                stats: report.stats,
-                exec_time_s,
-                node_clocks_ns,
-                lp_stats: report.lp_stats,
-                states: report.states,
-            })
-        }
-        Err(SimError::OutOfMemory { node, states_held }) => {
-            Err(PlatformError::OutOfMemory { node, states_held })
-        }
-        // The old API surfaced bad arguments as panics; preserve that.
-        Err(e) => panic!("{e}"),
-    }
 }
 
 /// The executive proper, generic over the telemetry probe.
@@ -229,11 +147,14 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
     let mut node_state: Vec<Node> =
         (0..nodes).map(|_| Node { clock_ns: 0, ready: BinaryHeap::new(), batches: 0 }).collect();
 
+    // In-flight messages live in a slab; the wire heap orders them by
+    // `(arrival, send sequence)` and carries the slot. Slots recycle
+    // through a free list, so the steady-state wire path does no hashing
+    // and no allocation.
     let mut net: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
-    let mut flights: std::collections::HashMap<usize, Flight<A::Msg>> =
-        std::collections::HashMap::new();
+    let mut flights: Vec<Option<Flight<A::Msg>>> = Vec::new();
+    let mut free_flights: Vec<usize> = Vec::new();
     let mut flight_seq = 0u64;
-    let mut flight_key = 0usize;
     // Ingress link occupancy per node: messages serialize onto the
     // destination's link, so bursts queue (congestion).
     let mut link_free_ns = vec![0u64; nodes];
@@ -285,10 +206,20 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
                     let wire_at = node_state[$from].clock_ns + cost.net_latency_ns;
                     let arrive = wire_at.max(link_free_ns[dst_node]) + cost.msg_wire_ns;
                     link_free_ns[dst_node] = arrive;
-                    net.push(Reverse((arrive, flight_seq, flight_key)));
-                    flights.insert(flight_key, Flight { arrive_ns: arrive, tx });
+                    let flight = Flight { arrive_ns: arrive, tx };
+                    let key = match free_flights.pop() {
+                        Some(k) => {
+                            debug_assert!(flights[k].is_none());
+                            flights[k] = Some(flight);
+                            k
+                        }
+                        None => {
+                            flights.push(Some(flight));
+                            flights.len() - 1
+                        }
+                    };
+                    net.push(Reverse((arrive, flight_seq, key)));
                     flight_seq += 1;
-                    flight_key += 1;
                 }
             }
         };
@@ -338,7 +269,8 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
                 };
                 if deliver_first {
                     let Reverse((arrive, _, key)) = net.pop().unwrap();
-                    let flight = flights.remove(&key).unwrap();
+                    let flight = flights[key].take().expect("wire heap entry without flight");
+                    free_flights.push(key);
                     debug_assert_eq!(flight.arrive_ns, arrive);
                     let dst = flight.tx.dst() as usize;
                     let dnode = assignment[dst] as usize;
@@ -385,7 +317,8 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
         if batches_since_gvt >= gvt_every || force_gvt {
             batches_since_gvt = 0;
             force_gvt = false;
-            let in_flight = flights.values().map(|f| f.tx.recv_time()).min().unwrap_or(VTime::INF);
+            let in_flight =
+                flights.iter().flatten().map(|f| f.tx.recv_time()).min().unwrap_or(VTime::INF);
             let gvt = lps.iter().map(|l| l.local_min()).min().unwrap_or(VTime::INF).min(in_flight);
             last_gvt = gvt;
             stats.gvt_rounds += 1;

@@ -7,36 +7,10 @@ use std::collections::BinaryHeap;
 
 use crate::app::{Application, EventSink};
 use crate::event::{EventId, LpId};
-use crate::probe::{NoProbe, Probe};
+use crate::probe::Probe;
 use crate::sim::{Outcome, RunReport};
 use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
-
-/// Result of a sequential run.
-#[deprecated(since = "0.2.0", note = "use `Simulator::new(app).run(Backend::Sequential)`")]
-#[derive(Debug)]
-pub struct SequentialResult<A: Application> {
-    /// Final state of every LP.
-    pub states: Vec<A::State>,
-    /// Event counters (`events_processed == events_committed`; no
-    /// rollbacks by construction).
-    pub stats: KernelStats,
-    /// Virtual time of the last executed event.
-    pub end_time: VTime,
-}
-
-/// Run an application to event exhaustion with a single global event
-/// queue, always executing the globally lowest timestamp. Deterministic.
-#[deprecated(since = "0.2.0", note = "use `Simulator::new(app).run(Backend::Sequential)`")]
-#[allow(deprecated)]
-pub fn run_sequential<A: Application>(app: &A) -> SequentialResult<A> {
-    let report = sequential_core(app, &mut NoProbe);
-    let end_time = match report.outcome {
-        Outcome::Sequential { end_time } => end_time,
-        _ => unreachable!("sequential core reports a sequential outcome"),
-    };
-    SequentialResult { states: report.states, stats: report.stats, end_time }
-}
 
 /// The executive proper, generic over the telemetry probe. Every batch is
 /// committed the moment it executes (a sequential run cannot roll back),
@@ -230,16 +204,5 @@ mod tests {
         let res = Simulator::new(&Idle).run(Backend::Sequential).unwrap();
         assert_eq!(res.stats.events_processed, 0);
         assert_eq!(res.outcome.end_time(), Some(VTime::ZERO));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_new_api() {
-        let app = PingPong { start: 9 };
-        let old = run_sequential(&app);
-        let new = Simulator::new(&app).run(Backend::Sequential).unwrap();
-        assert_eq!(old.states, new.states);
-        assert_eq!(old.stats, new.stats);
-        assert_eq!(Some(old.end_time), new.outcome.end_time());
     }
 }

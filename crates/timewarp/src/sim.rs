@@ -13,9 +13,10 @@
 //! assert_eq!(report.stats.events_committed, report.telemetry.unwrap().totals().events_committed);
 //! ```
 //!
-//! Replaces the three divergent entry points (`run_sequential`,
-//! `run_platform`, `run_threaded`) and their per-executive result structs,
-//! which remain as thin deprecated shims for one release.
+//! Replaced the three divergent pre-0.2 entry points (`run_sequential`,
+//! `run_platform`, `run_threaded`) and their per-executive result structs;
+//! the deprecated shims were removed after one release (see
+//! `docs/TELEMETRY.md` for the migration table).
 
 use std::time::Duration;
 

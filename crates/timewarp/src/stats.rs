@@ -42,6 +42,11 @@ pub struct KernelStats {
     pub app_messages: u64,
     /// Anti-messages that crossed cluster/node boundaries.
     pub anti_messages_remote: u64,
+    /// Channel sends performed by the threaded executive (remote messages
+    /// are coalesced into one batch per destination cluster per routing
+    /// pass, so this is ≤ `app_messages + anti_messages_remote`; zero on
+    /// the sequential and platform executives, which use no channels).
+    pub comm_batches: u64,
     /// State checkpoints written.
     pub states_saved: u64,
     /// Events re-executed silently during coast-forward (rollback repair
@@ -84,6 +89,7 @@ impl KernelStats {
         self.annihilated_pending += other.annihilated_pending;
         self.app_messages += other.app_messages;
         self.anti_messages_remote += other.anti_messages_remote;
+        self.comm_batches += other.comm_batches;
         self.states_saved += other.states_saved;
         self.events_coasted += other.events_coasted;
         self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);

@@ -14,6 +14,16 @@
 //! the children are [`Probe::join`]ed back in cluster-id order — so a
 //! recording probe sees a deterministic merge even though thread
 //! interleavings differ run to run.
+//!
+//! Comms: channels carry `Vec<Transmission>` batches, not single
+//! messages. Each routing pass coalesces its remote traffic into one
+//! buffer per destination cluster and flushes every non-empty buffer with
+//! a single channel send, so a rollback that cancels a burst of outputs
+//! costs one synchronized send per destination instead of one per
+//! anti-message. GVT accounting is unchanged: `routed_this_round` counts
+//! *messages*, and buffers are always flushed before a routing pass
+//! returns, so the flush-and-barrier termination argument still holds
+//! (no message is ever parked in a local buffer across a barrier).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -23,30 +33,19 @@ use crate::app::Application;
 use crate::config::KernelConfig;
 use crate::event::{LpId, Transmission};
 use crate::lp::LpRuntime;
-use crate::probe::{NoProbe, Probe};
+use crate::probe::Probe;
 use crate::sim::{Outcome, RunReport};
 use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
-
-/// Result of a threaded run.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunReport` via `Simulator::new(app).run(Backend::Threaded { .. })`"
-)]
-#[derive(Debug)]
-pub struct ThreadedResult<A: Application> {
-    /// Merged statistics from all clusters.
-    pub stats: KernelStats,
-    /// Final state of every LP (id order).
-    pub states: Vec<A::State>,
-    /// Wall-clock duration of the parallel section.
-    pub wall: std::time::Duration,
-}
 
 /// What one cluster thread returns: its id, its statistics, the final
 /// states and counters of its LPs, and its child probe.
 type ClusterOutcome<A, P> =
     (usize, KernelStats, Vec<(LpId, <A as Application>::State, LpCounters)>, P);
+
+/// A batch of transmissions — the unit that travels on inter-cluster
+/// channels.
+type TxBatch<M> = Vec<Transmission<M>>;
 
 /// Shared GVT coordination state.
 struct GvtShared {
@@ -59,27 +58,6 @@ struct GvtShared {
     routed_this_round: AtomicU64,
     /// The agreed GVT of the current round.
     gvt: AtomicU64,
-}
-
-/// Run `app` on `clusters` OS threads with the given LP→cluster
-/// assignment. Blocks until the simulation terminates (GVT = ∞).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Simulator::new(app).config(cfg).run(Backend::Threaded { .. })`"
-)]
-#[allow(deprecated)]
-pub fn run_threaded<A: Application>(
-    app: &A,
-    assignment: &[u32],
-    clusters: usize,
-    cfg: &KernelConfig,
-) -> ThreadedResult<A> {
-    let report = threaded_core(app, assignment, clusters, cfg, &mut NoProbe);
-    let wall = match report.outcome {
-        Outcome::Threaded { wall } => wall,
-        _ => unreachable!("threaded core reports a threaded outcome"),
-    };
-    ThreadedResult { stats: report.stats, states: report.states, wall }
 }
 
 /// The executive proper, generic over the telemetry probe.
@@ -96,9 +74,9 @@ pub(crate) fn threaded_core<A: Application, P: Probe>(
     let cfg = cfg.normalized();
 
     // Channels: one receiver per cluster (moved into its thread), senders
-    // shared by everyone.
-    let mut senders: Vec<Sender<Transmission<A::Msg>>> = Vec::with_capacity(clusters);
-    let mut receivers: Vec<Receiver<Transmission<A::Msg>>> = Vec::with_capacity(clusters);
+    // shared by everyone. Channels carry transmission *batches*.
+    let mut senders: Vec<Sender<TxBatch<A::Msg>>> = Vec::with_capacity(clusters);
+    let mut receivers: Vec<Receiver<TxBatch<A::Msg>>> = Vec::with_capacity(clusters);
     for _ in 0..clusters {
         let (tx, rx) = channel();
         senders.push(tx);
@@ -118,9 +96,15 @@ pub(crate) fn threaded_core<A: Application, P: Probe>(
     let mut init_events = Vec::new();
     let lps: Vec<LpRuntime<A>> =
         (0..app.num_lps() as LpId).map(|i| LpRuntime::new(app, i, cfg, &mut init_events)).collect();
+    let mut init_batches: Vec<TxBatch<A::Msg>> = (0..clusters).map(|_| Vec::new()).collect();
     for ev in init_events {
         let c = assignment[ev.dst as usize] as usize;
-        senders[c].send(Transmission::Positive(ev)).expect("receiver alive");
+        init_batches[c].push(Transmission::Positive(ev));
+    }
+    for (c, batch) in init_batches.into_iter().enumerate() {
+        if !batch.is_empty() {
+            senders[c].send(batch).expect("receiver alive");
+        }
     }
     let mut per_cluster_lps: Vec<Vec<(LpId, LpRuntime<A>)>> =
         (0..clusters).map(|_| Vec::new()).collect();
@@ -174,13 +158,17 @@ pub(crate) fn threaded_core<A: Application, P: Probe>(
 }
 
 /// Route everything in `outbox`: local → direct insert (cascading
-/// by-products handled), remote → channel. Returns transmissions routed.
+/// by-products stay in `outbox`), remote → per-destination buffer in
+/// `out_bufs`, flushed as one channel send per destination before
+/// returning (never parked — the GVT flush protocol depends on it).
+/// Returns transmissions routed (messages, not batches).
 #[allow(clippy::too_many_arguments)]
 fn route<A: Application, P: Probe>(
     cid: usize,
     outbox: &mut Vec<Transmission<A::Msg>>,
+    out_bufs: &mut [TxBatch<A::Msg>],
     table: &mut std::collections::HashMap<LpId, LpRuntime<A>>,
-    senders: &[Sender<Transmission<A::Msg>>],
+    senders: &[Sender<TxBatch<A::Msg>>],
     assignment: &[u32],
     app: &A,
     stats: &mut KernelStats,
@@ -203,7 +191,13 @@ fn route<A: Application, P: Probe>(
             }
             probe.remote_message(tx.is_positive(), tx.recv_time());
             routed += 1;
-            senders[dc].send(tx).expect("cluster receiver alive");
+            out_bufs[dc].push(tx);
+        }
+    }
+    for (dc, buf) in out_bufs.iter_mut().enumerate() {
+        if !buf.is_empty() {
+            stats.comm_batches += 1;
+            senders[dc].send(std::mem::take(buf)).expect("cluster receiver alive");
         }
     }
     routed
@@ -214,8 +208,8 @@ fn cluster_main<A: Application, P: Probe>(
     app: &A,
     cid: usize,
     lps: Vec<(LpId, LpRuntime<A>)>,
-    senders: Vec<Sender<Transmission<A::Msg>>>,
-    rx: Receiver<Transmission<A::Msg>>,
+    senders: Vec<Sender<TxBatch<A::Msg>>>,
+    rx: Receiver<TxBatch<A::Msg>>,
     shared: &GvtShared,
     assignment: &[u32],
     cfg: &KernelConfig,
@@ -224,6 +218,8 @@ fn cluster_main<A: Application, P: Probe>(
 ) -> ClusterOutcome<A, P> {
     let mut stats = KernelStats::default();
     let mut outbox: Vec<Transmission<A::Msg>> = Vec::new();
+    // Per-destination coalescing buffers, reused across routing passes.
+    let mut out_bufs: Vec<TxBatch<A::Msg>> = (0..senders.len()).map(|_| Vec::new()).collect();
 
     let mut table: std::collections::HashMap<LpId, LpRuntime<A>> = lps.into_iter().collect();
     let local_ids: Vec<LpId> = {
@@ -237,14 +233,17 @@ fn cluster_main<A: Application, P: Probe>(
 
     loop {
         // 1. Drain the inbox.
-        while let Ok(tx) = rx.try_recv() {
-            let dst = tx.dst();
-            debug_assert_eq!(assignment[dst as usize] as usize, cid);
-            let lp = table.get_mut(&dst).expect("local LP");
-            lp.receive(app, tx, &mut stats, &mut outbox, &mut probe);
+        while let Ok(batch) = rx.try_recv() {
+            for tx in batch {
+                let dst = tx.dst();
+                debug_assert_eq!(assignment[dst as usize] as usize, cid);
+                let lp = table.get_mut(&dst).expect("local LP");
+                lp.receive(app, tx, &mut stats, &mut outbox, &mut probe);
+            }
             route::<A, P>(
                 cid,
                 &mut outbox,
+                &mut out_bufs,
                 &mut table,
                 &senders,
                 assignment,
@@ -271,6 +270,7 @@ fn cluster_main<A: Application, P: Probe>(
                 app,
                 &mut table,
                 &mut outbox,
+                &mut out_bufs,
                 shared,
                 &mut stats,
                 &mut probe,
@@ -317,6 +317,7 @@ fn cluster_main<A: Application, P: Probe>(
                 route::<A, P>(
                     cid,
                     &mut outbox,
+                    &mut out_bufs,
                     &mut table,
                     &senders,
                     assignment,
@@ -355,12 +356,13 @@ fn cluster_main<A: Application, P: Probe>(
 #[allow(clippy::too_many_arguments)]
 fn gvt_round<A: Application, P: Probe>(
     cid: usize,
-    rx: &Receiver<Transmission<A::Msg>>,
-    senders: &[Sender<Transmission<A::Msg>>],
+    rx: &Receiver<TxBatch<A::Msg>>,
+    senders: &[Sender<TxBatch<A::Msg>>],
     assignment: &[u32],
     app: &A,
     table: &mut std::collections::HashMap<LpId, LpRuntime<A>>,
     outbox: &mut Vec<Transmission<A::Msg>>,
+    out_bufs: &mut [TxBatch<A::Msg>],
     shared: &GvtShared,
     stats: &mut KernelStats,
     probe: &mut P,
@@ -368,11 +370,14 @@ fn gvt_round<A: Application, P: Probe>(
     shared.barrier.wait();
     loop {
         let mut routed = 0u64;
-        while let Ok(tx) = rx.try_recv() {
-            let dst = tx.dst();
-            let lp = table.get_mut(&dst).expect("local LP");
-            lp.receive(app, tx, stats, outbox, probe);
-            routed += route::<A, P>(cid, outbox, table, senders, assignment, app, stats, probe);
+        while let Ok(batch) = rx.try_recv() {
+            for tx in batch {
+                let dst = tx.dst();
+                let lp = table.get_mut(&dst).expect("local LP");
+                lp.receive(app, tx, stats, outbox, probe);
+            }
+            routed +=
+                route::<A, P>(cid, outbox, out_bufs, table, senders, assignment, app, stats, probe);
         }
         shared.routed_this_round.fetch_add(routed, Ordering::AcqRel);
         shared.barrier.wait();

@@ -21,6 +21,12 @@ run cargo build --workspace --benches --tests --examples
 run cargo test -q --workspace
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
+if [[ "$FAST" -eq 0 ]]; then
+  # Perf smoke: tiny kernel benchmark suite. Catches a hot path that stops
+  # compiling or an order-of-magnitude regression; real numbers live in
+  # BENCH_kernel.json (refresh with `bench_kernel --set-baseline`).
+  run cargo run --release -p pls-bench --bin bench_kernel -- --smoke
+fi
 
 echo
 echo "All checks passed."

@@ -129,6 +129,45 @@ fn platform_statistics_are_consistent() {
 }
 
 #[test]
+fn lazy_sparse_checkpoints_agree_across_all_three_executives() {
+    // The adversarial corner for the kernel's annihilation index and lazy
+    // regeneration filter: lazy cancellation holds antis back, and sparse
+    // checkpoints force long coast-forwards whose replayed sends must hit
+    // the regeneration scan. All three executives must still commit the
+    // sequential history bit-for-bit.
+    let mut s = 50u64;
+    for _ in 0..8 {
+        let gates = (40 + mix(&mut s) % 140) as usize;
+        let circuit_seed = mix(&mut s) % 400;
+        let nodes = (2 + mix(&mut s) % 4) as usize;
+        let checkpoint = (3 + mix(&mut s) % 4) as u32; // sparse: 3..=6
+
+        let netlist = IscasSynth::small(gates, circuit_seed).build();
+        let cfg = SimConfig { end_time: 80, ..Default::default() };
+        let app = cfg.build_app(&netlist);
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let want = fingerprint(&seq.states);
+
+        let mut platform = cfg.platform;
+        platform.kernel.cancellation = Cancellation::Lazy;
+        platform.kernel.checkpoint_interval = checkpoint;
+        let assignment = arbitrary_assignment(netlist.len(), nodes, circuit_seed);
+        let plat = Simulator::new(&app)
+            .platform_config(&platform)
+            .run(Backend::Platform { assignment: &assignment, nodes })
+            .unwrap();
+        assert_eq!(fingerprint(&plat.states), want, "platform diverged");
+
+        let thr = Simulator::new(&app)
+            .config(platform.kernel)
+            .run(Backend::Threaded { assignment: &assignment, clusters: nodes })
+            .unwrap();
+        assert_eq!(fingerprint(&thr.states), want, "threaded diverged");
+        assert_eq!(thr.stats.events_committed, seq.stats.events_processed);
+    }
+}
+
+#[test]
 fn stimulus_seed_changes_history_but_not_event_conservation() {
     let mut s = 40u64;
     for _ in 0..24 {
