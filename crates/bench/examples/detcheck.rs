@@ -7,13 +7,15 @@
 use pls_gatesim::{fingerprint, SimConfig};
 use pls_netlist::IscasSynth;
 use pls_timewarp::{
-    Application, Backend, Cancellation, KernelConfig, KernelStats, Phold, PlatformConfig, Simulator,
+    Application, Backend, Cancellation, DynLbConfig, KernelConfig, KernelStats, Phold,
+    PlatformConfig, Simulator,
 };
 
 fn stats_line(tag: &str, s: &KernelStats) {
     println!(
         "{tag}: batches={} processed={} rolled_back={} committed={} prim={} sec={} antis={} \
-         annih={} app_msgs={} anti_remote={} saved={} coasted={} gvt_rounds={} final_gvt={} hw={}",
+         annih={} app_msgs={} anti_remote={} saved={} coasted={} gvt_rounds={} final_gvt={} hw={} \
+         lb_rounds={} migrations={} migrated_bytes={}",
         s.batches_executed,
         s.events_processed,
         s.events_rolled_back,
@@ -29,6 +31,9 @@ fn stats_line(tag: &str, s: &KernelStats) {
         s.gvt_rounds,
         s.final_gvt,
         s.state_queue_high_water,
+        s.lb_rounds,
+        s.migrations,
+        s.migrated_state_bytes,
     );
 }
 
@@ -77,6 +82,53 @@ fn main() {
         .run(Backend::Threaded { assignment: &thr_asg, clusters: 2 })
         .unwrap();
     println!("phold/thr2 states_match_seq: {}", thr.states == seq.states);
+
+    // --- Dynamic load balancing on the platform executive: must migrate,
+    // must commit the sequential history, and must be byte-reproducible
+    // (two identical runs, field-for-field identical reports).
+    {
+        let pcfg = PlatformConfig {
+            kernel: KernelConfig { gvt_period: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let lb = DynLbConfig { period: 1, ..Default::default() };
+        let run = || {
+            Simulator::new(&model)
+                .platform_config(&pcfg)
+                .load_balancer(lb)
+                .record(50)
+                .run(Backend::Platform { assignment: &assignment, nodes: 3 })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        stats_line("phold/plat3/dynlb", &a.stats);
+        println!("phold/plat3/dynlb states_match_seq: {}", a.states == seq.states);
+        println!(
+            "phold/plat3/dynlb exec_time_s: {:.9} clocks: {:?}",
+            a.outcome.exec_time_s().unwrap(),
+            a.outcome.node_clocks_ns().unwrap()
+        );
+        println!(
+            "phold/plat3/dynlb reproducible: {}",
+            a.stats == b.stats
+                && a.states == b.states
+                && a.outcome.node_clocks_ns() == b.outcome.node_clocks_ns()
+                && a.telemetry.as_ref().map(|t| t.to_jsonl())
+                    == b.telemetry.as_ref().map(|t| t.to_jsonl())
+        );
+        println!("phold/plat3/dynlb telemetry:\n{}", a.telemetry.unwrap().to_jsonl());
+
+        let dthr = Simulator::new(&model)
+            .load_balancer(lb)
+            .run(Backend::Threaded { assignment: &thr_asg, clusters: 2 })
+            .unwrap();
+        println!(
+            "phold/thr2/dynlb states_match_seq: {} migrated: {}",
+            dthr.states == seq.states,
+            dthr.stats.migrations > 0
+        );
+    }
 
     // --- Gate-level circuit.
     let netlist = IscasSynth::small(120, 3).build();

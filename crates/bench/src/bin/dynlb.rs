@@ -1,0 +1,137 @@
+//! Static vs dynamic load balancing on the rotating-hotspot workload —
+//! the experiment behind the "static vs dynamic partitioning" appendix
+//! in `EXPERIMENTS.md`.
+//!
+//! Four configurations of the exact same workload:
+//!
+//! * `static block`   — contiguous placement (best locality, worst balance)
+//! * `static striped` — round-robin placement (best balance, worst locality)
+//! * `dynamic (from block / from striped)` — the same two starting
+//!   placements with LP migration at GVT commit (default greedy policy);
+//!   converging from both extremes shows the balancer finds the tracking
+//!   placement rather than inheriting a lucky start
+//!
+//! For each, this prints the modeled execution time (the virtual-cluster
+//! clock), rollbacks, remote messages, migrations, and host ns per
+//! *committed* event (committed, not processed: the useful work is the
+//! same across all four, the wasted work is not).
+//!
+//! Usage: dynlb [--smoke] [--samples N] [--period N] [--max-moves N] [--min-gain N]
+//! (the last three override the balancer knobs for A/B tuning)
+
+use pls_bench::bench_events;
+use pls_bench::kernel_scenarios::{hotspot_setup, round_robin};
+use pls_timewarp::{Backend, DynLbConfig, KernelStats, RotatingHotspot, Simulator};
+
+struct Row {
+    name: &'static str,
+    exec_time_s: f64,
+    stats: KernelStats,
+    ns_per_committed: f64,
+}
+
+fn block(n: usize, parts: usize) -> Vec<u32> {
+    let per = n.div_ceil(parts);
+    (0..n).map(|i| (i / per) as u32).collect()
+}
+
+fn run_one(
+    name: &'static str,
+    model: &RotatingHotspot,
+    pcfg: &pls_timewarp::PlatformConfig,
+    assignment: &[u32],
+    dynlb: Option<DynLbConfig>,
+    samples: usize,
+) -> Row {
+    let build = || {
+        let mut sim = Simulator::new(model).platform_config(pcfg);
+        if let Some(d) = dynlb {
+            sim = sim.load_balancer(d);
+        }
+        sim
+    };
+    let res = build().run(Backend::Platform { assignment, nodes: 4 }).unwrap();
+    let exec_time_s = res.outcome.exec_time_s().expect("platform outcome");
+    let m = bench_events(samples, &mut || {
+        build().run(Backend::Platform { assignment, nodes: 4 }).unwrap().stats.events_committed
+    });
+    Row { name, exec_time_s, stats: res.stats, ns_per_committed: m.median_ns_per_event }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let num = |name: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let samples = num("--samples").unwrap_or(if smoke { 3 } else { 7 }) as usize;
+
+    let (model, pcfg, shared_lb) = hotspot_setup(smoke);
+    let mut lb = shared_lb;
+    if let Some(p) = num("--period") {
+        lb.period = p;
+    }
+    if let Some(m) = num("--max-moves") {
+        lb.max_moves = m as usize;
+    }
+    if let Some(g) = num("--min-gain") {
+        lb.min_comm_gain = g;
+    }
+    eprintln!(
+        "rotating hotspot: {} LPs, {} phases x {} vt, hot window {}, 4 nodes, {samples} samples",
+        model.lps, model.phases, model.phase_len, model.hot_width
+    );
+
+    let blk = block(model.lps, 4);
+    let str_ = round_robin(model.lps, 4);
+    let rows = [
+        run_one("static block", &model, &pcfg, &blk, None, samples),
+        run_one("static striped", &model, &pcfg, &str_, None, samples),
+        run_one("dynamic (from block)", &model, &pcfg, &blk, Some(lb), samples),
+        run_one("dynamic (from striped)", &model, &pcfg, &str_, Some(lb), samples),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>12}",
+        "placement",
+        "modeled s",
+        "rollbk",
+        "remote",
+        "processed",
+        "committed",
+        "rounds",
+        "migr",
+        "ns/committed"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>10.4} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>12.1}",
+            r.name,
+            r.exec_time_s,
+            r.stats.rollbacks(),
+            r.stats.app_messages,
+            r.stats.events_processed,
+            r.stats.events_committed,
+            r.stats.lb_rounds,
+            r.stats.migrations,
+            r.ns_per_committed,
+        );
+    }
+
+    let best_static = rows[..2]
+        .iter()
+        .min_by(|a, b| a.exec_time_s.total_cmp(&b.exec_time_s))
+        .expect("two static rows");
+    for dyn_ in &rows[2..] {
+        println!(
+            "{} vs best static ({}): modeled {:+.1}%, ns/committed {:+.1}%",
+            dyn_.name,
+            best_static.name,
+            100.0 * (dyn_.exec_time_s / best_static.exec_time_s - 1.0),
+            100.0 * (dyn_.ns_per_committed / best_static.ns_per_committed - 1.0),
+        );
+    }
+}

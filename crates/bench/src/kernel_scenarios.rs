@@ -10,7 +10,8 @@ use pls_gatesim::SimConfig;
 use pls_netlist::IscasSynth;
 use pls_partition::{CircuitGraph, MultilevelPartitioner, Partitioner};
 use pls_timewarp::{
-    Backend, Cancellation, CostModel, KernelConfig, Phold, PlatformConfig, Simulator,
+    Backend, Cancellation, CostModel, DynLbConfig, KernelConfig, Phold, PlatformConfig,
+    RotatingHotspot, Simulator,
 };
 
 /// One named, repeatable kernel workload. `run` executes it once and
@@ -172,5 +173,85 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         });
     }
 
+    // 6 & 7. Rotating hotspot, static vs dynamic: the same workload and
+    //    the same starting placement — round-robin striped, the *best*
+    //    static choice for this workload (block loses ~2× to imbalance;
+    //    see the `dynlb` binary for the full table) — with dynamic load
+    //    balancing off and on. Unlike the other scenarios these divide by
+    //    events *committed* (the useful work is identical between the
+    //    pair, processed counts are not — rollback waste is part of what
+    //    migration removes), so their ns/event is comparable within the
+    //    pair but not against scenarios 1–5.
+    {
+        let (model, pcfg, _) = hotspot_setup(smoke);
+        let assignment = round_robin(model.lps, 4);
+        out.push(KernelScenario {
+            name: "dynlb_hotspot_static",
+            run: Box::new(move || {
+                Simulator::new(&model)
+                    .platform_config(&pcfg)
+                    .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+                    .unwrap()
+                    .stats
+                    .events_committed
+            }),
+        });
+    }
+    {
+        let (model, pcfg, lb) = hotspot_setup(smoke);
+        let assignment = round_robin(model.lps, 4);
+        out.push(KernelScenario {
+            name: "dynlb_hotspot_dynamic",
+            run: Box::new(move || {
+                Simulator::new(&model)
+                    .platform_config(&pcfg)
+                    .load_balancer(lb)
+                    .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+                    .unwrap()
+                    .stats
+                    .events_committed
+            }),
+        });
+    }
+
     out
+}
+
+/// Round-robin assignment: perfect load spread, worst-case locality
+/// (every ring edge crosses a node boundary).
+pub fn round_robin(n: usize, parts: usize) -> Vec<u32> {
+    (0..n).map(|i| (i % parts) as u32).collect()
+}
+
+/// The shared workload of the `dynlb_hotspot_*` pair (and the `dynlb`
+/// comparison binary): a rotating hot window over a 4-node ring, with a
+/// GVT cadence tight enough for the balancer to track the rotation, a
+/// bounded optimism window so migration shocks cannot snowball into deep
+/// rollbacks, and a balancing period of ~once per hot-window shift.
+pub fn hotspot_setup(smoke: bool) -> (RotatingHotspot, PlatformConfig, DynLbConfig) {
+    let model = if smoke {
+        RotatingHotspot {
+            lps: 32,
+            phases: 3,
+            phase_len: 150,
+            hot_width: 8,
+            hot_factor: 8,
+            work_hops: 9,
+            ..Default::default()
+        }
+    } else {
+        RotatingHotspot {
+            phase_len: 200,
+            hot_width: 14,
+            hot_factor: 8,
+            work_hops: 15,
+            ..Default::default()
+        }
+    };
+    let pcfg = PlatformConfig {
+        kernel: KernelConfig { gvt_period: 4, window: Some(4), ..Default::default() },
+        ..Default::default()
+    };
+    let lb = DynLbConfig { period: 16, ..Default::default() };
+    (model, pcfg, lb)
 }

@@ -59,7 +59,7 @@ impl Grid {
     /// fingerprint is stale and must be discarded, not silently reused.
     fn config_fingerprint(cfg: &SimConfig) -> String {
         format!(
-            "v2:{:?}:{:?}:end{}:clk{}:stim{}-{}-{}",
+            "v3:{:?}:{:?}:end{}:clk{}:stim{}-{}-{}:dynlb{:?}",
             cfg.platform.cost,
             cfg.platform.kernel,
             cfg.end_time,
@@ -67,6 +67,7 @@ impl Grid {
             cfg.stim.seed,
             cfg.stim.period,
             cfg.stim.toggle_prob,
+            cfg.dynlb,
         )
     }
 
@@ -200,7 +201,7 @@ impl Grid {
         }
         for line in text.lines().skip(2) {
             let f: Vec<&str> = line.split(',').collect();
-            if f.len() != 11 {
+            if f.len() != 12 {
                 continue;
             }
             let m = RunMetrics {
@@ -214,7 +215,8 @@ impl Grid {
                 events_processed: f[7].parse().unwrap_or(0),
                 remote_antis: f[8].parse().unwrap_or(0),
                 edge_cut: f[9].parse().unwrap_or(0),
-                out_of_memory: f[10] == "true",
+                migrations: f[10].parse().unwrap_or(0),
+                out_of_memory: f[11] == "true",
             };
             self.cells.insert((m.circuit.clone(), m.strategy.clone(), m.nodes), m);
         }
@@ -223,7 +225,7 @@ impl Grid {
     fn save_cache(&self) {
         let mut text = format!("# {}\n", Self::config_fingerprint(&self.cfg));
         text.push_str(
-            "circuit,strategy,nodes,exec_time_s,app_messages,rollbacks,events_committed,events_processed,remote_antis,edge_cut,out_of_memory\n",
+            "circuit,strategy,nodes,exec_time_s,app_messages,rollbacks,events_committed,events_processed,remote_antis,edge_cut,migrations,out_of_memory\n",
         );
         let mut rows: Vec<&RunMetrics> = self.cells.values().collect();
         rows.sort_by(|a, b| {
@@ -231,7 +233,7 @@ impl Grid {
         });
         for m in rows {
             text.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 m.circuit,
                 m.strategy,
                 m.nodes,
@@ -242,6 +244,7 @@ impl Grid {
                 m.events_processed,
                 m.remote_antis,
                 m.edge_cut,
+                m.migrations,
                 m.out_of_memory
             ));
         }

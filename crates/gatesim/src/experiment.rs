@@ -6,7 +6,8 @@ use pls_logic::{DelayModel, StimulusConfig};
 use pls_netlist::Netlist;
 use pls_partition::{CircuitGraph, Partitioner, Partitioning};
 use pls_timewarp::{
-    platform::sequential_modeled_time_s, Backend, PlatformConfig, SimError, Simulator, TimeSeries,
+    platform::sequential_modeled_time_s, Backend, DynLbConfig, PlatformConfig, SimError, Simulator,
+    TimeSeries,
 };
 
 use crate::gatelp::{GateSim, GateState};
@@ -24,6 +25,10 @@ pub struct SimConfig {
     pub delay: DelayModel,
     /// Platform (cost model, kernel knobs, memory limit).
     pub platform: PlatformConfig,
+    /// Dynamic load balancing: `Some` migrates LPs between nodes at GVT
+    /// commit with the default greedy policy; `None` keeps the static
+    /// placement for the whole run.
+    pub dynlb: Option<DynLbConfig>,
 }
 
 impl Default for SimConfig {
@@ -34,6 +39,7 @@ impl Default for SimConfig {
             clock_period: 10,
             delay: DelayModel::PerKind,
             platform: PlatformConfig::default(),
+            dynlb: None,
         }
     }
 }
@@ -69,6 +75,8 @@ pub struct RunMetrics {
     pub remote_antis: u64,
     /// Edge cut of the partition used.
     pub edge_cut: u64,
+    /// LPs migrated by dynamic load balancing (0 with a static placement).
+    pub migrations: u64,
     /// Whether the run died with the per-node memory limit exceeded
     /// (`exec_time_s` is meaningless in that case).
     pub out_of_memory: bool,
@@ -149,6 +157,9 @@ pub fn run_cell_recorded(
     if let Some(w) = bucket_width {
         sim = sim.record(w);
     }
+    if let Some(d) = cfg.dynlb {
+        sim = sim.load_balancer(d);
+    }
     match sim.run(Backend::Platform { assignment: &partitioning.assignment, nodes }) {
         Ok(res) => (
             RunMetrics {
@@ -162,6 +173,7 @@ pub fn run_cell_recorded(
                 events_processed: res.stats.events_processed,
                 remote_antis: res.stats.anti_messages_remote,
                 edge_cut,
+                migrations: res.stats.migrations,
                 out_of_memory: false,
             },
             res.telemetry,
@@ -178,6 +190,7 @@ pub fn run_cell_recorded(
                 events_processed: 0,
                 remote_antis: 0,
                 edge_cut,
+                migrations: 0,
                 out_of_memory: true,
             },
             None,
@@ -271,6 +284,30 @@ mod tests {
             ml.app_messages,
             rnd.app_messages
         );
+    }
+
+    #[test]
+    fn dynlb_cell_matches_the_sequential_oracle_and_migrates() {
+        let netlist = IscasSynth::small(150, 3).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let mut cfg = small_cfg();
+        cfg.platform.kernel.gvt_period = 8;
+        cfg.dynlb = Some(DynLbConfig { period: 1, ..Default::default() });
+        let seq = run_seq_baseline(&netlist, &cfg);
+        // Worst-case static placement: every gate on node 0 of 4. The
+        // balancer must spread the load without changing the history.
+        let part = Partitioning::new(4, vec![0; graph.len()]);
+        let (m, _) = run_cell_recorded(&netlist, &graph, &part, "AllOnZero", 4, &cfg, None);
+        assert!(!m.out_of_memory);
+        assert!(m.migrations > 0, "fully skewed placement must migrate");
+        assert_eq!(m.events_committed, seq.events);
+        let app = cfg.build_app(&netlist);
+        let res = Simulator::new(&app)
+            .platform_config(&cfg.platform)
+            .load_balancer(cfg.dynlb.unwrap())
+            .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
+            .unwrap();
+        assert_eq!(fingerprint(&res.states), seq.fingerprint, "dynlb diverged from oracle");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod baselines;
 pub mod dot;
 pub mod graph;
+pub mod incremental;
 pub mod metrics;
 pub mod multilevel;
 pub mod partitioning;
@@ -71,6 +72,12 @@ pub fn partitioner_by_name(name: &str) -> Option<Box<dyn Partitioner + Send + Sy
     all_partitioners().into_iter().find(|p| p.name().eq_ignore_ascii_case(name))
 }
 
+/// Display names of all registered strategies, in registry order — for
+/// "unknown strategy" error messages.
+pub fn partitioner_names() -> Vec<&'static str> {
+    all_partitioners().iter().map(|p| p.name()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +91,13 @@ mod tests {
             names,
             vec!["Random", "DFS", "Cluster", "Topological", "Multilevel", "ConePartition"]
         );
+    }
+
+    #[test]
+    fn names_cover_registry() {
+        for n in partitioner_names() {
+            assert!(partitioner_by_name(n).is_some(), "{n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Cross-strategy integration tests: every registered partitioner against
+//! the metric invariants that define a well-formed partitioning, plus the
+//! paper's central quality claim (multilevel beats random on edge cut) on
+//! both a real ISCAS'89 circuit and a synthetic one.
+
+use pls_netlist::data::s27;
+use pls_netlist::IscasSynth;
+use pls_partition::{
+    all_partitioners, metrics, partitioner_by_name, partitioner_names, CircuitGraph,
+    MultilevelPartitioner, Partitioner, Partitioning, RandomPartitioner,
+};
+
+fn graphs() -> Vec<(&'static str, CircuitGraph)> {
+    vec![
+        ("s27", CircuitGraph::from_netlist(&s27())),
+        ("synth300", CircuitGraph::from_netlist(&IscasSynth::small(300, 7).build())),
+    ]
+}
+
+#[test]
+fn every_strategy_produces_a_complete_assignment() {
+    for (name, g) in graphs() {
+        for part in all_partitioners() {
+            for k in [2, 4] {
+                let p = part.partition(&g, k, 0);
+                assert_eq!(p.k, k, "{}/{name}: wrong k", part.name());
+                assert_eq!(
+                    p.assignment.len(),
+                    g.len(),
+                    "{}/{name}: assignment must cover every vertex",
+                    part.name()
+                );
+                assert!(
+                    p.assignment.iter().all(|&a| (a as usize) < k),
+                    "{}/{name}: part id out of range",
+                    part.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_part_has_zero_cut_and_unit_imbalance() {
+    for (name, g) in graphs() {
+        let p = Partitioning::new(1, vec![0; g.len()]);
+        let q = metrics::quality(&g, &p);
+        assert_eq!(q.edge_cut, 0, "{name}: one part cannot cut any edge");
+        assert!((q.imbalance - 1.0).abs() < 1e-9, "{name}: one part is perfectly balanced");
+    }
+}
+
+#[test]
+fn imbalance_is_bounded_by_k_and_at_least_one() {
+    // max_load / avg_load lies in [1, k] for any partitioning that uses at
+    // least one part (the heaviest part carries at most the whole circuit).
+    for (name, g) in graphs() {
+        for part in all_partitioners() {
+            for k in [2, 4, 8] {
+                let p = part.partition(&g, k, 1);
+                let im = metrics::imbalance(&g, &p);
+                assert!(
+                    im >= 1.0 - 1e-9 && im <= k as f64 + 1e-9,
+                    "{}/{name}: imbalance {im} outside [1, {k}]",
+                    part.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_report_is_consistent_with_individual_metrics() {
+    for (name, g) in graphs() {
+        for part in all_partitioners() {
+            let p = part.partition(&g, 4, 2);
+            let q = metrics::quality(&g, &p);
+            assert_eq!(q.edge_cut, metrics::edge_cut(&g, &p), "{}/{name}", part.name());
+            assert_eq!(q.imbalance, metrics::imbalance(&g, &p), "{}/{name}", part.name());
+            assert_eq!(
+                q.concurrency.is_some(),
+                g.has_levels(),
+                "{}/{name}: concurrency present iff levels are",
+                part.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn multilevel_beats_random_on_edge_cut() {
+    // The paper's core claim, in miniature: the multilevel heuristic cuts
+    // fewer edges than a random assignment at comparable balance.
+    for (name, g) in graphs() {
+        let ml = MultilevelPartitioner::default().partition(&g, 4, 0);
+        let ml_q = metrics::quality(&g, &ml);
+        // Average random over a few seeds so one lucky draw can't pass.
+        let mut rnd_cut = 0u64;
+        let seeds = [0u64, 1, 2, 3, 4];
+        for &s in &seeds {
+            let r = RandomPartitioner.partition(&g, 4, s);
+            rnd_cut += metrics::edge_cut(&g, &r);
+        }
+        let rnd_avg = rnd_cut as f64 / seeds.len() as f64;
+        assert!(
+            (ml_q.edge_cut as f64) < rnd_avg,
+            "{name}: multilevel cut {} not below random average {rnd_avg}",
+            ml_q.edge_cut
+        );
+        assert!(ml_q.imbalance < 1.5, "{name}: multilevel imbalance {} too high", ml_q.imbalance);
+    }
+}
+
+#[test]
+fn registry_round_trips_every_name() {
+    for name in partitioner_names() {
+        let p = partitioner_by_name(name).expect("registered name must resolve");
+        assert_eq!(p.name(), name);
+        // Lookup is case-insensitive (the CLI lowercases user input).
+        assert!(partitioner_by_name(&name.to_lowercase()).is_some());
+        assert!(partitioner_by_name(&name.to_uppercase()).is_some());
+    }
+    assert!(partitioner_by_name("no-such-strategy").is_none());
+}

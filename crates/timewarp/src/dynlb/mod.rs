@@ -1,0 +1,355 @@
+//! Dynamic load balancing: telemetry-driven LP migration at GVT
+//! boundaries.
+//!
+//! The paper's partitioners are static — a placement computed before the
+//! run pays for every mispredicted hotspot until termination. This module
+//! closes the loop: the kernel's own telemetry (events executed, rollbacks
+//! and remote messages per LP, per GVT window) feeds a [`LoadBalancer`]
+//! that emits a bounded [`Migration`] plan, and the executives apply the
+//! plan at GVT commit.
+//!
+//! # Why GVT commit is the safe migration point
+//!
+//! At a GVT round the kernel knows a virtual time no future message can
+//! precede. Immediately after fossil collection an LP is a *compact
+//! closure*: one current state, the checkpoints at or above GVT, and the
+//! pending events at or above GVT — nothing else in the system refers to
+//! its past. Moving that closure between nodes/clusters cannot violate
+//! causality, because every message below GVT is already committed and
+//! every message above it will be routed by the post-migration tables.
+//! The threaded executive additionally relies on its flush-and-barrier
+//! GVT: the flush guarantees **zero in-flight messages** at the barrier,
+//! so swapping routing tables inside the barrier can never strand a
+//! message at a stale cluster.
+//!
+//! # Determinism
+//!
+//! A plan is a pure function of the window statistics and the current
+//! assignment. On the virtual-platform executive the window statistics
+//! are themselves deterministic, so a dynamically balanced platform run is
+//! byte-reproducible, migration costs and all. On the threaded executive
+//! window statistics depend on real thread interleavings, so plans may
+//! differ run to run — but any placement commits the same event history,
+//! which the cross-executive tests enforce. The sequential executive has
+//! no GVT rounds and serves as the placement-independent oracle.
+
+use std::collections::BTreeMap;
+
+use crate::event::LpId;
+use crate::stats::LpCounters;
+use crate::time::VTime;
+
+/// Knobs for dynamic load balancing, set via
+/// [`crate::Simulator::load_balancer`].
+#[derive(Debug, Clone, Copy)]
+pub struct DynLbConfig {
+    /// Run the balancer every `period` GVT rounds.
+    pub period: u64,
+    /// Maximum LP migrations per balancing round (bounds migration
+    /// traffic).
+    pub max_moves: usize,
+    /// Balance slack passed to the refiner: no move may push a part's
+    /// observed load above `avg * (1 + balance_eps)`.
+    pub balance_eps: f64,
+    /// Minimum traffic gain (messages per window) for a migration that is
+    /// not fixing an overload. Migration costs a state transfer up front;
+    /// gains below this threshold never pay it back and just flap LPs
+    /// between nodes.
+    pub min_comm_gain: u64,
+}
+
+impl Default for DynLbConfig {
+    fn default() -> DynLbConfig {
+        DynLbConfig { period: 4, max_moves: 8, balance_eps: 0.10, min_comm_gain: 4 }
+    }
+}
+
+/// Per-LP activity observed during one GVT window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpWindow {
+    /// Events this LP executed during the window (including work later
+    /// rolled back — it occupied the CPU either way).
+    pub events: u64,
+    /// Rollbacks this LP suffered during the window.
+    pub rollbacks: u64,
+    /// Events undone on this LP during the window.
+    pub events_rolled_back: u64,
+}
+
+/// Everything a [`LoadBalancer`] sees at one balancing round.
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    /// The GVT at which this round runs.
+    pub gvt: VTime,
+    /// 1-based index of this balancing round.
+    pub round: u64,
+    /// Per-LP window activity, indexed by LP id.
+    pub lps: Vec<LpWindow>,
+    /// Remote messages per LP pair during the window, keyed by the
+    /// *unordered* pair `(min, max)` — a `BTreeMap` so iteration order is
+    /// deterministic.
+    pub comm: BTreeMap<(LpId, LpId), u64>,
+}
+
+impl WindowStats {
+    /// An empty window over `n` LPs.
+    pub fn new(n: usize) -> WindowStats {
+        WindowStats {
+            gvt: VTime::ZERO,
+            round: 0,
+            lps: vec![LpWindow::default(); n],
+            comm: BTreeMap::new(),
+        }
+    }
+
+    /// Clear all per-LP and per-pair activity (between rounds).
+    pub fn reset(&mut self) {
+        self.lps.fill(LpWindow::default());
+        self.comm.clear();
+    }
+}
+
+/// One planned migration: move `lp` from part `from` to part `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The LP to move.
+    pub lp: LpId,
+    /// Its current node/cluster.
+    pub from: u32,
+    /// Its destination node/cluster.
+    pub to: u32,
+}
+
+/// A dynamic load-balancing policy: map one window of observations to a
+/// bounded migration plan.
+///
+/// Implementations must be deterministic functions of their arguments —
+/// the virtual-platform executive's byte-reproducibility depends on it.
+/// Plans are validated by the executives: entries whose `from` does not
+/// match the LP's current placement, whose `to` is out of range, or that
+/// move an LP onto its own part are skipped.
+pub trait LoadBalancer: Send {
+    /// Produce a migration plan for the window. `assignment` is the
+    /// current LP → part map; `parts` the node/cluster count.
+    fn plan(
+        &mut self,
+        window: &WindowStats,
+        assignment: &[u32],
+        parts: usize,
+        cfg: &DynLbConfig,
+    ) -> Vec<Migration>;
+}
+
+/// The default policy: greedy incremental refinement
+/// ([`pls_partition::incremental`]) over a live graph whose vertex weights
+/// are the window's per-LP *net* event counts (processed minus rolled
+/// back) and whose edges are the window's observed remote traffic.
+/// Counting wasted work as load would make rollback victims look heavy
+/// and set up a migration → rollback → migration feedback loop; net load
+/// measures actual forward progress. Single-LP moves by best combined
+/// gain (traffic + load transfer), each LP moved at most once per round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBalancer;
+
+impl LoadBalancer for GreedyBalancer {
+    fn plan(
+        &mut self,
+        window: &WindowStats,
+        assignment: &[u32],
+        parts: usize,
+        cfg: &DynLbConfig,
+    ) -> Vec<Migration> {
+        let mut g = pls_partition::incremental::LoadGraph::new(
+            window.lps.iter().map(|w| w.events.saturating_sub(w.events_rolled_back)).collect(),
+        );
+        for (&(a, b), &w) in &window.comm {
+            g.add_comm(a, b, w);
+        }
+        let mut asg = assignment.to_vec();
+        let icfg = pls_partition::incremental::IncrementalConfig {
+            max_moves: cfg.max_moves,
+            balance_eps: cfg.balance_eps,
+            min_comm_gain: cfg.min_comm_gain,
+        };
+        pls_partition::incremental::refine(&g, &mut asg, parts, &icfg)
+            .into_iter()
+            .map(|m| Migration { lp: m.lp, from: m.from, to: m.to })
+            .collect()
+    }
+}
+
+/// Executive-side bookkeeping: turns cumulative [`LpCounters`] into
+/// per-window deltas and accumulates remote traffic between rounds.
+///
+/// Traffic is logged as one appended pair per message and aggregated only
+/// when the window closes: `record_comm` sits on the hot send path, so it
+/// must not pay a map lookup per message.
+#[derive(Debug)]
+pub(crate) struct WindowTracker {
+    prev: Vec<LpCounters>,
+    comm_log: Vec<(LpId, LpId)>,
+}
+
+impl WindowTracker {
+    pub(crate) fn new(n: usize) -> WindowTracker {
+        WindowTracker { prev: vec![LpCounters::default(); n], comm_log: Vec::new() }
+    }
+
+    /// Record one remote message between `src` and `dst`.
+    pub(crate) fn record_comm(&mut self, src: LpId, dst: LpId) {
+        self.comm_log.push(if src <= dst { (src, dst) } else { (dst, src) });
+    }
+
+    /// Window delta for `lp` given its cumulative counters `now`; advances
+    /// the snapshot.
+    pub(crate) fn diff(&mut self, lp: LpId, now: LpCounters) -> LpWindow {
+        let prev = std::mem::replace(&mut self.prev[lp as usize], now);
+        LpWindow {
+            events: now.events_processed - prev.events_processed,
+            rollbacks: now.rollbacks - prev.rollbacks,
+            events_rolled_back: now.events_rolled_back - prev.events_rolled_back,
+        }
+    }
+
+    /// Drain the accumulated traffic log, aggregated per unordered pair.
+    pub(crate) fn take_comm(&mut self) -> BTreeMap<(LpId, LpId), u64> {
+        self.comm_log.sort_unstable();
+        let mut comm = BTreeMap::new();
+        for &pair in &self.comm_log {
+            *comm.entry(pair).or_insert(0u64) += 1;
+        }
+        self.comm_log.clear();
+        comm
+    }
+
+    /// The cumulative snapshot for `lp` (travels with a migrating LP on the
+    /// threaded executive, so the receiving cluster's next diff stays
+    /// correct).
+    pub(crate) fn snapshot(&self, lp: LpId) -> LpCounters {
+        self.prev[lp as usize]
+    }
+
+    /// Install a snapshot received with a migrating LP.
+    pub(crate) fn install(&mut self, lp: LpId, snap: LpCounters) {
+        self.prev[lp as usize] = snap;
+    }
+}
+
+/// The configured balancing subsystem carried by
+/// [`crate::Simulator`]: the knobs plus the policy object.
+pub struct DynLb {
+    /// Balancing knobs.
+    pub cfg: DynLbConfig,
+    /// The policy (defaults to [`GreedyBalancer`]).
+    pub balancer: Box<dyn LoadBalancer>,
+}
+
+impl std::fmt::Debug for DynLb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynLb").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+/// Validity filter the executives apply to plan entries, so a buggy or
+/// adversarial policy cannot corrupt routing state. Deterministic, and
+/// identical on every cluster of the threaded executive (all clusters see
+/// the same plan and the same assignment copy).
+pub(crate) fn move_is_valid(mv: &Migration, assignment: &[u32], parts: usize) -> bool {
+    (mv.lp as usize) < assignment.len()
+        && (mv.to as usize) < parts
+        && mv.from != mv.to
+        && assignment[mv.lp as usize] == mv.from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_window(n: usize, hot: std::ops::Range<usize>) -> WindowStats {
+        let mut w = WindowStats::new(n);
+        for (i, lp) in w.lps.iter_mut().enumerate() {
+            lp.events = if hot.contains(&i) { 100 } else { 2 };
+        }
+        w
+    }
+
+    #[test]
+    fn greedy_sheds_load_from_the_hot_part() {
+        // LPs 0..4 hot, all on part 0 of 2.
+        let w = skewed_window(8, 0..4);
+        let asg = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let plan = GreedyBalancer.plan(&w, &asg, 2, &DynLbConfig::default());
+        assert!(!plan.is_empty());
+        for mv in &plan {
+            assert_eq!(mv.from, 0, "only the hot part sheds load: {mv:?}");
+            assert_eq!(mv.to, 1);
+            assert!(mv.lp < 4, "a hot LP moves, not a cold one");
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let mut w = skewed_window(16, 3..9);
+        w.comm.insert((2, 3), 11);
+        w.comm.insert((8, 9), 7);
+        let asg: Vec<u32> = (0..16).map(|i| (i / 4) as u32).collect();
+        let a = GreedyBalancer.plan(&w, &asg, 4, &DynLbConfig::default());
+        let b = GreedyBalancer.plan(&w, &asg, 4, &DynLbConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn balanced_window_yields_empty_plan() {
+        let mut w = WindowStats::new(8);
+        for lp in w.lps.iter_mut() {
+            lp.events = 10;
+        }
+        let asg = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        assert!(GreedyBalancer.plan(&w, &asg, 2, &DynLbConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn plan_respects_max_moves() {
+        let w = skewed_window(32, 0..16);
+        let asg = vec![0u32; 32];
+        let cfg = DynLbConfig { max_moves: 3, ..Default::default() };
+        assert!(GreedyBalancer.plan(&w, &asg, 4, &cfg).len() <= 3);
+    }
+
+    #[test]
+    fn tracker_diffs_and_carries_snapshots() {
+        let mut t = WindowTracker::new(2);
+        let c1 = LpCounters { events_processed: 10, rollbacks: 1, events_rolled_back: 3 };
+        assert_eq!(t.diff(0, c1), LpWindow { events: 10, rollbacks: 1, events_rolled_back: 3 });
+        let c2 = LpCounters { events_processed: 25, rollbacks: 1, events_rolled_back: 3 };
+        assert_eq!(t.diff(0, c2), LpWindow { events: 15, rollbacks: 0, events_rolled_back: 0 });
+        // Snapshot travels to another tracker (threaded migration).
+        let snap = t.snapshot(0);
+        let mut t2 = WindowTracker::new(2);
+        t2.install(0, snap);
+        let c3 = LpCounters { events_processed: 30, rollbacks: 2, events_rolled_back: 4 };
+        assert_eq!(t2.diff(0, c3), LpWindow { events: 5, rollbacks: 1, events_rolled_back: 1 });
+    }
+
+    #[test]
+    fn comm_is_unordered_and_accumulates() {
+        let mut t = WindowTracker::new(4);
+        t.record_comm(3, 1);
+        t.record_comm(1, 3);
+        t.record_comm(0, 2);
+        let comm = t.take_comm();
+        assert_eq!(comm.get(&(1, 3)), Some(&2));
+        assert_eq!(comm.get(&(0, 2)), Some(&1));
+        assert!(t.take_comm().is_empty(), "drained");
+    }
+
+    #[test]
+    fn move_validity_filter() {
+        let asg = vec![0, 1, 1];
+        assert!(move_is_valid(&Migration { lp: 0, from: 0, to: 1 }, &asg, 2));
+        assert!(!move_is_valid(&Migration { lp: 0, from: 1, to: 0 }, &asg, 2), "stale from");
+        assert!(!move_is_valid(&Migration { lp: 1, from: 1, to: 1 }, &asg, 2), "self move");
+        assert!(!move_is_valid(&Migration { lp: 1, from: 1, to: 5 }, &asg, 2), "bad target");
+        assert!(!move_is_valid(&Migration { lp: 9, from: 0, to: 1 }, &asg, 2), "bad lp");
+    }
+}

@@ -27,7 +27,9 @@
 pub mod app;
 pub mod config;
 pub mod cost;
+pub mod dynlb;
 pub mod event;
+pub mod hotspot;
 pub mod lp;
 pub mod phold;
 pub mod platform;
@@ -43,7 +45,11 @@ pub mod time;
 pub use app::{Application, EventSink};
 pub use config::{Cancellation, ConfigError, KernelConfig, KernelConfigBuilder};
 pub use cost::CostModel;
+pub use dynlb::{
+    DynLb, DynLbConfig, GreedyBalancer, LoadBalancer, LpWindow, Migration, WindowStats,
+};
 pub use event::{AntiEvent, Event, EventId, LpId, Transmission};
+pub use hotspot::RotatingHotspot;
 pub use phold::Phold;
 pub use platform::{PlatformConfig, PlatformConfigBuilder};
 pub use probe::{NoProbe, Probe, RollbackKind, Tee};

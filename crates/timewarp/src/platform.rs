@@ -21,7 +21,8 @@ use std::collections::BinaryHeap;
 use crate::app::Application;
 use crate::config::{ConfigError, KernelConfig};
 use crate::cost::CostModel;
-use crate::event::{LpId, Transmission};
+use crate::dynlb::{move_is_valid, DynLb, WindowStats, WindowTracker};
+use crate::event::{Event, LpId, Transmission};
 use crate::lp::LpRuntime;
 use crate::probe::Probe;
 use crate::sim::{Outcome, RunReport, SimError};
@@ -116,6 +117,7 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
     nodes: usize,
     cfg: &PlatformConfig,
     probe: &mut P,
+    mut dynlb: Option<&mut DynLb>,
 ) -> Result<RunReport<A>, SimError> {
     if assignment.len() != app.num_lps() {
         return Err(SimError::InvalidConfig(format!(
@@ -134,6 +136,15 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
     }
     let kernel = cfg.kernel.normalized();
     let cost = cfg.cost;
+
+    // Dynamic load balancing mutates the placement at GVT commit, so work
+    // on a local copy of the assignment. With one node there is nowhere to
+    // migrate to; drop the balancer so behavior is bit-identical to "off".
+    let mut assignment: Vec<u32> = assignment.to_vec();
+    if nodes < 2 {
+        dynlb = None;
+    }
+    let mut tracker = dynlb.as_ref().map(|_| WindowTracker::new(app.num_lps()));
 
     let mut stats = KernelStats::default();
     let mut outbox: Vec<Transmission<A::Msg>> = Vec::new();
@@ -198,6 +209,9 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
                 } else {
                     if tx.is_positive() {
                         stats.app_messages += 1;
+                        if let Some(tr) = tracker.as_mut() {
+                            tr.record_comm(tx.id().src, tx.dst());
+                        }
                     } else {
                         stats.anti_messages_remote += 1;
                     }
@@ -227,10 +241,12 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
 
     loop {
         // Validate the lazy heaps, then pick the busy node with the
-        // smallest clock (ties → lowest node id, for determinism).
-        for ns in node_state.iter_mut() {
+        // smallest clock (ties → lowest node id, for determinism). An
+        // entry is stale if its time is outdated *or* the LP has migrated
+        // off this node since the entry was pushed.
+        for (i, ns) in node_state.iter_mut().enumerate() {
             while let Some(&Reverse((t, lp))) = ns.ready.peek() {
-                if lps[lp as usize].next_time() == t {
+                if lps[lp as usize].next_time() == t && assignment[lp as usize] as usize == i {
                     break;
                 }
                 ns.ready.pop();
@@ -345,6 +361,56 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
             }
             let round_clock = node_state.iter().map(|n| n.clock_ns).max().unwrap_or(0);
             probe.gvt_advanced(gvt, held_total, pending_total, round_clock);
+
+            // Dynamic load balancing. GVT commit is the one point where an
+            // LP is a compact transferable closure (see `dynlb` module
+            // docs): fossil collection just ran, so moving it is copying
+            // its current state, surviving checkpoints and pending events.
+            // Migration traffic goes through the same network cost model as
+            // application messages, so its price shows up in modeled time.
+            if let Some(lb) = dynlb.as_deref_mut() {
+                if !gvt.is_inf() && stats.gvt_rounds % lb.cfg.period.max(1) == 0 {
+                    let tr = tracker.as_mut().expect("tracker exists when balancing");
+                    let mut window = WindowStats::new(lps.len());
+                    window.gvt = gvt;
+                    for (i, lp) in lps.iter().enumerate() {
+                        window.lps[i] = tr.diff(i as LpId, lp.own_stats());
+                    }
+                    window.comm = tr.take_comm();
+                    stats.lb_rounds += 1;
+                    window.round = stats.lb_rounds;
+                    let plan = lb.balancer.plan(&window, &assignment, nodes, &lb.cfg);
+                    for mv in plan {
+                        if !move_is_valid(&mv, &assignment, nodes) {
+                            continue;
+                        }
+                        let lp = mv.lp as usize;
+                        let (src, dst) = (mv.from as usize, mv.to as usize);
+                        let pending = lps[lp].pending_len() as u64;
+                        let held = lps[lp].state_queue_len() as u64;
+                        // The closure serializes as `units` messages on the
+                        // destination's ingress link: one for the live
+                        // state, one per checkpoint, one per pending event.
+                        let units = 1 + pending + held;
+                        let bytes = pending * std::mem::size_of::<Event<A::Msg>>() as u64
+                            + (held + 1) * std::mem::size_of::<A::State>() as u64;
+                        node_state[src].clock_ns += cost.msg_send_ns * units;
+                        let wire_at = node_state[src].clock_ns + cost.net_latency_ns;
+                        let arrive = wire_at.max(link_free_ns[dst]) + cost.msg_wire_ns * units;
+                        link_free_ns[dst] = arrive;
+                        node_state[dst].clock_ns =
+                            node_state[dst].clock_ns.max(arrive) + cost.msg_recv_ns * units;
+                        assignment[lp] = mv.to;
+                        let nt = lps[lp].next_time();
+                        if !nt.is_inf() {
+                            node_state[dst].ready.push(Reverse((nt, mv.lp)));
+                        }
+                        stats.migrations += 1;
+                        stats.migrated_state_bytes += bytes;
+                        probe.lp_migrated(mv.lp, mv.from, mv.to, gvt, bytes);
+                    }
+                }
+            }
         }
     }
 

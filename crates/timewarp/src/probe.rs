@@ -70,6 +70,13 @@ pub trait Probe: Send {
     /// application event or anti-message) with receive time `at`.
     fn remote_message(&mut self, positive: bool, at: VTime) {}
 
+    /// Dynamic load balancing migrated `lp` from node/cluster `from` to
+    /// `to` at the GVT round that agreed on `gvt`; `bytes` is the modeled
+    /// size of the transferred closure (state + checkpoints + pending
+    /// events). On the threaded executive only the *source* cluster's
+    /// probe observes the migration.
+    fn lp_migrated(&mut self, lp: LpId, from: u32, to: u32, gvt: VTime, bytes: u64) {}
+
     /// Create an independent child probe for one cluster thread.
     fn fork(&mut self) -> Self
     where
@@ -144,6 +151,10 @@ impl<P: Probe, Q: Probe> Probe for Tee<P, Q> {
     fn remote_message(&mut self, positive: bool, at: VTime) {
         self.a.remote_message(positive, at);
         self.b.remote_message(positive, at);
+    }
+    fn lp_migrated(&mut self, lp: LpId, from: u32, to: u32, gvt: VTime, bytes: u64) {
+        self.a.lp_migrated(lp, from, to, gvt, bytes);
+        self.b.lp_migrated(lp, from, to, gvt, bytes);
     }
     fn fork(&mut self) -> Tee<P, Q> {
         Tee { a: self.a.fork(), b: self.b.fork() }

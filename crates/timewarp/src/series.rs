@@ -49,6 +49,10 @@ pub struct Bucket {
     pub remote_antis: u64,
     /// GVT rounds whose agreed GVT fell in this bucket.
     pub gvt_rounds: u64,
+    /// LPs migrated by dynamic load balancing at GVT rounds here.
+    pub migrations: u64,
+    /// Modeled bytes moved by those migrations.
+    pub migrated_bytes: u64,
     /// High-water mark of saved states observed at GVT rounds here.
     pub states_held_max: u64,
     /// High-water mark of pending (unprocessed) events at GVT rounds here.
@@ -78,6 +82,8 @@ impl Bucket {
         self.app_messages += o.app_messages;
         self.remote_antis += o.remote_antis;
         self.gvt_rounds += o.gvt_rounds;
+        self.migrations += o.migrations;
+        self.migrated_bytes += o.migrated_bytes;
         self.states_held_max = self.states_held_max.max(o.states_held_max);
         self.pending_max = self.pending_max.max(o.pending_max);
         self.wall_ns_max = self.wall_ns_max.max(o.wall_ns_max);
@@ -190,7 +196,8 @@ impl TimeSeries {
                 "\"events_rolled_back\":{},\"events_coasted\":{},",
                 "\"antis_sent\":{},\"annihilations\":{},\"states_saved\":{},",
                 "\"events_committed\":{},\"app_messages\":{},\"remote_antis\":{},",
-                "\"gvt_rounds\":{},\"states_held_max\":{},\"pending_max\":{},",
+                "\"gvt_rounds\":{},\"migrations\":{},\"migrated_bytes\":{},",
+                "\"states_held_max\":{},\"pending_max\":{},",
                 "\"wall_ns_max\":{}}}"
             ),
             bucket,
@@ -209,6 +216,8 @@ impl TimeSeries {
             b.app_messages,
             b.remote_antis,
             b.gvt_rounds,
+            b.migrations,
+            b.migrated_bytes,
             b.states_held_max,
             b.pending_max,
             b.wall_ns_max,
@@ -232,8 +241,8 @@ impl TimeSeries {
         let mut out = String::from(
             "bucket,vt_lo,vt_hi,batches,events,primary_rollbacks,secondary_rollbacks,\
              events_rolled_back,events_coasted,antis_sent,annihilations,states_saved,\
-             events_committed,app_messages,remote_antis,gvt_rounds,states_held_max,\
-             pending_max,wall_ns_max\n",
+             events_committed,app_messages,remote_antis,gvt_rounds,migrations,\
+             migrated_bytes,states_held_max,pending_max,wall_ns_max\n",
         );
         for (k, b) in self.buckets() {
             let (bucket, vt_lo, vt_hi) = match k {
@@ -245,7 +254,7 @@ impl TimeSeries {
                 BucketKey::Final => ("final".into(), String::new(), String::new()),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 bucket,
                 vt_lo,
                 vt_hi,
@@ -262,6 +271,8 @@ impl TimeSeries {
                 b.app_messages,
                 b.remote_antis,
                 b.gvt_rounds,
+                b.migrations,
+                b.migrated_bytes,
                 b.states_held_max,
                 b.pending_max,
                 b.wall_ns_max,
@@ -325,6 +336,12 @@ impl Probe for TimeSeries {
         } else {
             b.remote_antis += 1;
         }
+    }
+
+    fn lp_migrated(&mut self, _lp: LpId, _from: u32, _to: u32, gvt: VTime, bytes: u64) {
+        let b = self.at(gvt);
+        b.migrations += 1;
+        b.migrated_bytes += bytes;
     }
 
     fn fork(&mut self) -> TimeSeries {
@@ -454,6 +471,22 @@ mod tests {
         single.batch_executed(1, VTime(4), 1);
         single.remote_message(true, VTime(3));
         assert_eq!(root, single);
+    }
+
+    #[test]
+    fn migrations_bucket_by_gvt() {
+        let mut ts = TimeSeries::new(10);
+        ts.lp_migrated(3, 0, 1, VTime(25), 640);
+        ts.lp_migrated(4, 1, 0, VTime(25), 320);
+        let t = ts.totals();
+        assert_eq!(t.migrations, 2);
+        assert_eq!(t.migrated_bytes, 960);
+        let (k, b) = ts.buckets().next().unwrap();
+        assert_eq!(k, BucketKey::At(2));
+        assert_eq!(b.migrations, 2);
+        let jsonl = ts.to_jsonl();
+        assert!(jsonl.contains("\"migrations\":2"));
+        assert!(jsonl.contains("\"migrated_bytes\":960"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::time::Duration;
 use crate::app::Application;
 use crate::config::KernelConfig;
 use crate::cost::CostModel;
+use crate::dynlb::{DynLb, DynLbConfig, GreedyBalancer, LoadBalancer};
 use crate::platform::PlatformConfig;
 use crate::probe::{NoProbe, Probe, Tee};
 use crate::series::TimeSeries;
@@ -161,6 +162,7 @@ pub struct Simulator<'a, A: Application, P: Probe = NoProbe> {
     cost: CostModel,
     state_limit_per_node: Option<u64>,
     record: Option<u64>,
+    dynlb: Option<DynLb>,
     probe: P,
 }
 
@@ -174,6 +176,7 @@ impl<'a, A: Application> Simulator<'a, A, NoProbe> {
             cost: CostModel::default(),
             state_limit_per_node: None,
             record: None,
+            dynlb: None,
             probe: NoProbe,
         }
     }
@@ -215,6 +218,22 @@ impl<'a, A: Application, P: Probe> Simulator<'a, A, P> {
         self
     }
 
+    /// Enable dynamic load balancing with the default policy
+    /// ([`GreedyBalancer`]): every `cfg.period` GVT rounds the last
+    /// window's per-LP statistics are refined into a migration plan and
+    /// applied at GVT commit. A no-op on [`Backend::Sequential`] (which
+    /// has no GVT rounds) and on single-node/cluster runs.
+    pub fn load_balancer(self, cfg: DynLbConfig) -> Self {
+        self.load_balancer_with(cfg, Box::new(GreedyBalancer))
+    }
+
+    /// Enable dynamic load balancing with a custom policy. The policy must
+    /// be deterministic (see [`LoadBalancer`]).
+    pub fn load_balancer_with(mut self, cfg: DynLbConfig, balancer: Box<dyn LoadBalancer>) -> Self {
+        self.dynlb = Some(DynLb { cfg, balancer });
+        self
+    }
+
     /// Attach a custom probe (replaces any previously attached probe).
     pub fn probe<Q: Probe>(self, probe: Q) -> Simulator<'a, A, Q> {
         Simulator {
@@ -223,6 +242,7 @@ impl<'a, A: Application, P: Probe> Simulator<'a, A, P> {
             cost: self.cost,
             state_limit_per_node: self.state_limit_per_node,
             record: self.record,
+            dynlb: self.dynlb,
             probe,
         }
     }
@@ -233,18 +253,19 @@ impl<'a, A: Application, P: Probe> Simulator<'a, A, P> {
     /// read [`RunReport::telemetry`]).
     pub fn run(self, backend: Backend<'_>) -> Result<RunReport<A>, SimError> {
         validate(self.app, &backend)?;
-        let Simulator { app, kernel, cost, state_limit_per_node, record, probe } = self;
+        let Simulator { app, kernel, cost, state_limit_per_node, record, dynlb, probe } = self;
         let pcfg = PlatformConfig { kernel, cost, state_limit_per_node };
+        let mut dynlb = dynlb;
         match record {
             Some(width) => {
                 let mut tee = Tee::new(TimeSeries::new(width), probe);
-                let mut report = dispatch(app, &pcfg, &backend, &mut tee)?;
+                let mut report = dispatch(app, &pcfg, &backend, &mut tee, dynlb.as_mut())?;
                 report.telemetry = Some(tee.a);
                 Ok(report)
             }
             None => {
                 let mut probe = probe;
-                dispatch(app, &pcfg, &backend, &mut probe)
+                dispatch(app, &pcfg, &backend, &mut probe, dynlb.as_mut())
             }
         }
     }
@@ -279,15 +300,24 @@ fn dispatch<A: Application, P: Probe>(
     cfg: &PlatformConfig,
     backend: &Backend<'_>,
     probe: &mut P,
+    dynlb: Option<&mut DynLb>,
 ) -> Result<RunReport<A>, SimError> {
     match backend {
+        // The sequential executive has no GVT rounds, so dynamic load
+        // balancing is trivially a no-op there — which is exactly what
+        // makes it the placement-independent oracle for migration tests.
         Backend::Sequential => Ok(crate::sequential::sequential_core(app, probe)),
         Backend::Platform { assignment, nodes } => {
-            crate::platform::platform_core(app, assignment, *nodes, cfg, probe)
+            crate::platform::platform_core(app, assignment, *nodes, cfg, probe, dynlb)
         }
-        Backend::Threaded { assignment, clusters } => {
-            Ok(crate::threaded::threaded_core(app, assignment, *clusters, &cfg.kernel, probe))
-        }
+        Backend::Threaded { assignment, clusters } => Ok(crate::threaded::threaded_core(
+            app,
+            assignment,
+            *clusters,
+            &cfg.kernel,
+            probe,
+            dynlb,
+        )),
     }
 }
 
@@ -398,6 +428,89 @@ mod tests {
         assert_eq!(bare.states, recorded.states);
         assert_eq!(bare.stats, recorded.stats);
         assert_eq!(bare.outcome, recorded.outcome);
+    }
+
+    #[test]
+    fn dynlb_platform_matches_sequential_and_migrates() {
+        let app = Ring { n: 12, hops: 40 };
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let skewed = vec![0u32; 12]; // everything misplaced on node 0 of 3
+        let cfg = KernelConfig::builder().gvt_period(4).build().unwrap();
+        let res = Simulator::new(&app)
+            .config(cfg)
+            .load_balancer(DynLbConfig { period: 1, ..Default::default() })
+            .run(Backend::Platform { assignment: &skewed, nodes: 3 })
+            .unwrap();
+        assert_eq!(res.states, seq.states, "migration must not change the history");
+        assert!(res.stats.lb_rounds > 0, "balancing rounds must run");
+        assert!(res.stats.migrations > 0, "a fully skewed placement must migrate");
+        assert!(res.stats.migrated_state_bytes > 0);
+    }
+
+    #[test]
+    fn dynlb_platform_is_deterministic() {
+        let app = Ring { n: 12, hops: 40 };
+        let skewed = vec![0u32; 12];
+        let cfg = KernelConfig::builder().gvt_period(4).build().unwrap();
+        let run = || {
+            Simulator::new(&app)
+                .config(cfg)
+                .load_balancer(DynLbConfig { period: 1, ..Default::default() })
+                .run(Backend::Platform { assignment: &skewed, nodes: 3 })
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.stats, b.stats, "dynlb must stay byte-reproducible");
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    fn dynlb_threaded_matches_sequential() {
+        let app = Ring { n: 12, hops: 40 };
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        let skewed = vec![0u32; 12];
+        let cfg = KernelConfig::builder().gvt_period(4).build().unwrap();
+        for _ in 0..3 {
+            let res = Simulator::new(&app)
+                .config(cfg)
+                .load_balancer(DynLbConfig { period: 1, ..Default::default() })
+                .run(Backend::Threaded { assignment: &skewed, clusters: 3 })
+                .unwrap();
+            assert_eq!(res.states, seq.states, "migration must not change the history");
+        }
+    }
+
+    #[test]
+    fn dynlb_on_one_node_is_identical_to_off() {
+        let app = Ring { n: 8, hops: 20 };
+        let asg = vec![0u32; 8];
+        let off =
+            Simulator::new(&app).run(Backend::Platform { assignment: &asg, nodes: 1 }).unwrap();
+        let on = Simulator::new(&app)
+            .load_balancer(DynLbConfig::default())
+            .run(Backend::Platform { assignment: &asg, nodes: 1 })
+            .unwrap();
+        assert_eq!(off.stats, on.stats);
+        assert_eq!(off.outcome, on.outcome);
+        assert_eq!(off.states, on.states);
+    }
+
+    #[test]
+    fn dynlb_telemetry_counts_migrations() {
+        let app = Ring { n: 12, hops: 40 };
+        let skewed = vec![0u32; 12];
+        let cfg = KernelConfig::builder().gvt_period(4).build().unwrap();
+        let report = Simulator::new(&app)
+            .config(cfg)
+            .record(10)
+            .load_balancer(DynLbConfig { period: 1, ..Default::default() })
+            .run(Backend::Platform { assignment: &skewed, nodes: 3 })
+            .unwrap();
+        let t = report.telemetry.expect("record() fills telemetry").totals();
+        assert_eq!(t.migrations, report.stats.migrations);
+        assert_eq!(t.migrated_bytes, report.stats.migrated_state_bytes);
+        assert!(t.migrations > 0);
     }
 
     /// A custom probe composes with `record` (both observe every event).

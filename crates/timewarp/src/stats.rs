@@ -54,6 +54,14 @@ pub struct KernelStats {
     pub events_coasted: u64,
     /// GVT computation rounds.
     pub gvt_rounds: u64,
+    /// Dynamic load-balancing rounds executed (0 unless a balancer was
+    /// configured via [`crate::Simulator::load_balancer`]).
+    pub lb_rounds: u64,
+    /// LPs migrated between nodes/clusters by dynamic load balancing.
+    pub migrations: u64,
+    /// Modeled bytes of LP closure (current state + checkpoints + pending
+    /// events) moved by migrations.
+    pub migrated_state_bytes: u64,
     /// Final GVT (== [`VTime::INF`] on clean termination).
     pub final_gvt: VTime,
     /// High-water mark of total saved states held at once (memory proxy;
@@ -92,7 +100,13 @@ impl KernelStats {
         self.comm_batches += other.comm_batches;
         self.states_saved += other.states_saved;
         self.events_coasted += other.events_coasted;
+        // Synchronized rounds are counted once by every cluster, so they
+        // aggregate by max, not sum; migrations are counted only by the
+        // source cluster, so they sum.
         self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);
+        self.lb_rounds = self.lb_rounds.max(other.lb_rounds);
+        self.migrations += other.migrations;
+        self.migrated_state_bytes += other.migrated_state_bytes;
         self.final_gvt = self.final_gvt.max(other.final_gvt);
         self.state_queue_high_water += other.state_queue_high_water;
     }
@@ -129,5 +143,27 @@ mod tests {
         assert_eq!(a.events_processed, 12);
         assert_eq!(a.app_messages, 3);
         assert_eq!(a.final_gvt, VTime::INF);
+    }
+
+    #[test]
+    fn merge_rules_for_lb_counters() {
+        // lb_rounds counts synchronized rounds (max, like gvt_rounds);
+        // migrations and bytes are per-source (sum).
+        let mut a = KernelStats {
+            lb_rounds: 3,
+            migrations: 2,
+            migrated_state_bytes: 100,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            lb_rounds: 3,
+            migrations: 1,
+            migrated_state_bytes: 40,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lb_rounds, 3);
+        assert_eq!(a.migrations, 3);
+        assert_eq!(a.migrated_state_bytes, 140);
     }
 }

@@ -27,11 +27,14 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 
 use crate::app::Application;
 use crate::config::KernelConfig;
-use crate::event::{LpId, Transmission};
+use crate::dynlb::{
+    move_is_valid, DynLb, DynLbConfig, LoadBalancer, Migration, WindowStats, WindowTracker,
+};
+use crate::event::{Event, LpId, Transmission};
 use crate::lp::LpRuntime;
 use crate::probe::Probe;
 use crate::sim::{Outcome, RunReport};
@@ -46,6 +49,24 @@ type ClusterOutcome<A, P> =
 /// A batch of transmissions — the unit that travels on inter-cluster
 /// channels.
 type TxBatch<M> = Vec<Transmission<M>>;
+
+/// One migrating LP in a handoff buffer: its id, its runtime, and the
+/// cumulative counter snapshot the destination's window tracker resumes
+/// from.
+type Mover<A> = (LpId, LpRuntime<A>, LpCounters);
+
+/// Shared dynamic load-balancing state: the merged per-window statistics,
+/// the plan agreed by cluster 0, and per-destination handoff buffers for
+/// migrating LP runtimes ("movers"). All accesses happen inside the GVT
+/// barrier region, where the flush protocol guarantees no message is in
+/// flight — see the `dynlb` module docs.
+struct LbShared<'b, A: Application> {
+    cfg: DynLbConfig,
+    balancer: Mutex<&'b mut dyn LoadBalancer>,
+    window: Mutex<WindowStats>,
+    plan: Mutex<Vec<Migration>>,
+    movers: Vec<Mutex<Vec<Mover<A>>>>,
+}
 
 /// Shared GVT coordination state.
 struct GvtShared {
@@ -67,11 +88,25 @@ pub(crate) fn threaded_core<A: Application, P: Probe>(
     clusters: usize,
     cfg: &KernelConfig,
     probe: &mut P,
+    mut dynlb: Option<&mut DynLb>,
 ) -> RunReport<A> {
     assert_eq!(assignment.len(), app.num_lps());
     assert!(clusters >= 1);
     assert!(assignment.iter().all(|&c| (c as usize) < clusters));
     let cfg = cfg.normalized();
+
+    // With one cluster there is nowhere to migrate to; drop the balancer
+    // so the run is indistinguishable from "off".
+    if clusters < 2 {
+        dynlb = None;
+    }
+    let lb_shared = dynlb.map(|d| LbShared::<A> {
+        cfg: d.cfg,
+        balancer: Mutex::new(&mut *d.balancer),
+        window: Mutex::new(WindowStats::new(app.num_lps())),
+        plan: Mutex::new(Vec::new()),
+        movers: (0..clusters).map(|_| Mutex::new(Vec::new())).collect(),
+    });
 
     // Channels: one receiver per cluster (moved into its thread), senders
     // shared by everyone. Channels carry transmission *batches*.
@@ -122,9 +157,12 @@ pub(crate) fn threaded_core<A: Application, P: Probe>(
             let shared = &shared;
             let assignment = &assignment;
             let cfg = &cfg;
+            let lb = lb_shared.as_ref();
             let child = probe.fork();
             handles.push(scope.spawn(move || {
-                cluster_main(app, cid, lps, senders, rx, shared, assignment, cfg, child, started)
+                cluster_main(
+                    app, cid, lps, senders, rx, shared, assignment, cfg, lb, child, started,
+                )
             }));
         }
         for h in handles {
@@ -173,6 +211,7 @@ fn route<A: Application, P: Probe>(
     app: &A,
     stats: &mut KernelStats,
     probe: &mut P,
+    mut tracker: Option<&mut WindowTracker>,
 ) -> u64 {
     let mut routed = 0;
     while let Some(tx) = outbox.pop() {
@@ -186,6 +225,9 @@ fn route<A: Application, P: Probe>(
         } else {
             if tx.is_positive() {
                 stats.app_messages += 1;
+                if let Some(tr) = tracker.as_deref_mut() {
+                    tr.record_comm(tx.id().src, dst);
+                }
             } else {
                 stats.anti_messages_remote += 1;
             }
@@ -213,6 +255,7 @@ fn cluster_main<A: Application, P: Probe>(
     shared: &GvtShared,
     assignment: &[u32],
     cfg: &KernelConfig,
+    lb: Option<&LbShared<'_, A>>,
     mut probe: P,
     started: std::time::Instant,
 ) -> ClusterOutcome<A, P> {
@@ -221,8 +264,14 @@ fn cluster_main<A: Application, P: Probe>(
     // Per-destination coalescing buffers, reused across routing passes.
     let mut out_bufs: Vec<TxBatch<A::Msg>> = (0..senders.len()).map(|_| Vec::new()).collect();
 
+    // Dynamic load balancing rewrites the routing table at GVT commit;
+    // every cluster keeps its own copy and applies the agreed plan to it
+    // inside the barrier region, so all copies stay identical.
+    let mut assignment: Vec<u32> = assignment.to_vec();
+    let mut tracker = lb.map(|_| WindowTracker::new(assignment.len()));
+
     let mut table: std::collections::HashMap<LpId, LpRuntime<A>> = lps.into_iter().collect();
-    let local_ids: Vec<LpId> = {
+    let mut local_ids: Vec<LpId> = {
         let mut v: Vec<LpId> = table.keys().copied().collect();
         v.sort_unstable();
         v
@@ -246,10 +295,11 @@ fn cluster_main<A: Application, P: Probe>(
                 &mut out_bufs,
                 &mut table,
                 &senders,
-                assignment,
+                &assignment,
                 app,
                 &mut stats,
                 &mut probe,
+                tracker.as_mut(),
             );
         }
 
@@ -266,7 +316,7 @@ fn cluster_main<A: Application, P: Probe>(
                 cid,
                 &rx,
                 &senders,
-                assignment,
+                &assignment,
                 app,
                 &mut table,
                 &mut outbox,
@@ -274,6 +324,7 @@ fn cluster_main<A: Application, P: Probe>(
                 shared,
                 &mut stats,
                 &mut probe,
+                tracker.as_mut(),
             );
             stats.gvt_rounds += 1;
             let held: u64 = local_ids.iter().map(|id| table[id].state_queue_len() as u64).sum();
@@ -283,10 +334,98 @@ fn cluster_main<A: Application, P: Probe>(
             }
             let pending: u64 = local_ids.iter().map(|id| table[id].pending_len() as u64).sum();
             probe.gvt_advanced(gvt, held, pending, started.elapsed().as_nanos() as u64);
+
+            // Dynamic load balancing, inside the barrier region where the
+            // flush protocol guarantees zero in-flight messages (see the
+            // `dynlb` module docs). The gate is a function of shared state
+            // only (`gvt`, the lockstep `gvt_rounds` count, the static
+            // period), so every cluster takes the same branch — the
+            // barriers below stay matched.
+            let mut migrated_in = false;
+            if let Some(lbs) = lb {
+                if !gvt.is_inf() && stats.gvt_rounds % lbs.cfg.period.max(1) == 0 {
+                    let tracker = tracker.as_mut().expect("tracker exists when balancing");
+                    // Phase 1: contribute this cluster's slice of the
+                    // window (disjoint LP slots; traffic maps add).
+                    {
+                        let mut window = lbs.window.lock().unwrap();
+                        window.gvt = gvt;
+                        for &id in &local_ids {
+                            window.lps[id as usize] = tracker.diff(id, table[&id].own_stats());
+                        }
+                        for (k, v) in tracker.take_comm() {
+                            *window.comm.entry(k).or_insert(0) += v;
+                        }
+                    }
+                    shared.barrier.wait();
+                    // Phase 2: cluster 0 plans from the merged window. Any
+                    // cluster's assignment copy would do — they are
+                    // identical by construction.
+                    stats.lb_rounds += 1;
+                    if cid == 0 {
+                        let mut window = lbs.window.lock().unwrap();
+                        window.round = stats.lb_rounds;
+                        let plan = lbs.balancer.lock().unwrap().plan(
+                            &window,
+                            &assignment,
+                            senders.len(),
+                            &lbs.cfg,
+                        );
+                        window.reset();
+                        *lbs.plan.lock().unwrap() = plan;
+                    }
+                    shared.barrier.wait();
+                    // Phase 3: every cluster applies the same plan to its
+                    // own routing table; sources hand their LP runtimes
+                    // (plus window snapshots, so the receiver's next diff
+                    // stays correct) to the destination's movers buffer.
+                    {
+                        let plan = lbs.plan.lock().unwrap();
+                        for mv in plan.iter() {
+                            if !move_is_valid(mv, &assignment, senders.len()) {
+                                continue;
+                            }
+                            assignment[mv.lp as usize] = mv.to;
+                            if mv.from as usize == cid {
+                                let lp = table.remove(&mv.lp).expect("migrating LP is local");
+                                local_ids.retain(|&i| i != mv.lp);
+                                let bytes = lp.pending_len() as u64
+                                    * std::mem::size_of::<Event<A::Msg>>() as u64
+                                    + (lp.state_queue_len() as u64 + 1)
+                                        * std::mem::size_of::<A::State>() as u64;
+                                stats.migrations += 1;
+                                stats.migrated_state_bytes += bytes;
+                                probe.lp_migrated(mv.lp, mv.from, mv.to, gvt, bytes);
+                                lbs.movers[mv.to as usize].lock().unwrap().push((
+                                    mv.lp,
+                                    lp,
+                                    tracker.snapshot(mv.lp),
+                                ));
+                            }
+                        }
+                    }
+                    shared.barrier.wait();
+                    // Phase 4: adopt arrivals. No trailing barrier needed —
+                    // every deposit happened before the phase-3 barrier,
+                    // and any message a fast cluster routes to a migrated
+                    // LP just waits in the owner's channel.
+                    {
+                        let mut arrivals = lbs.movers[cid].lock().unwrap();
+                        for (id, lp, snap) in arrivals.drain(..) {
+                            tracker.install(id, snap);
+                            table.insert(id, lp);
+                            local_ids.push(id);
+                            migrated_in = true;
+                        }
+                    }
+                    local_ids.sort_unstable();
+                }
+            }
+
             if gvt.is_inf() {
                 break;
             }
-            if idle {
+            if idle && !migrated_in {
                 // Back off so an idle cluster doesn't drag the busy ones
                 // into a GVT barrier every loop iteration.
                 idle_rounds = (idle_rounds + 1).min(10);
@@ -320,10 +459,11 @@ fn cluster_main<A: Application, P: Probe>(
                     &mut out_bufs,
                     &mut table,
                     &senders,
-                    assignment,
+                    &assignment,
                     app,
                     &mut stats,
                     &mut probe,
+                    tracker.as_mut(),
                 );
             }
             Some(_) => {
@@ -366,6 +506,7 @@ fn gvt_round<A: Application, P: Probe>(
     shared: &GvtShared,
     stats: &mut KernelStats,
     probe: &mut P,
+    mut tracker: Option<&mut WindowTracker>,
 ) -> VTime {
     shared.barrier.wait();
     loop {
@@ -376,8 +517,18 @@ fn gvt_round<A: Application, P: Probe>(
                 let lp = table.get_mut(&dst).expect("local LP");
                 lp.receive(app, tx, stats, outbox, probe);
             }
-            routed +=
-                route::<A, P>(cid, outbox, out_bufs, table, senders, assignment, app, stats, probe);
+            routed += route::<A, P>(
+                cid,
+                outbox,
+                out_bufs,
+                table,
+                senders,
+                assignment,
+                app,
+                stats,
+                probe,
+                tracker.as_deref_mut(),
+            );
         }
         shared.routed_this_round.fetch_add(routed, Ordering::AcqRel);
         shared.barrier.wait();

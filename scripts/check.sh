@@ -26,6 +26,16 @@ if [[ "$FAST" -eq 0 ]]; then
   # compiling or an order-of-magnitude regression; real numbers live in
   # BENCH_kernel.json (refresh with `bench_kernel --set-baseline`).
   run cargo run --release -p pls-bench --bin bench_kernel -- --smoke
+
+  # Determinism gate: every observable detcheck prints (stats, states,
+  # modeled clocks, telemetry) must match the committed golden byte for
+  # byte. Refresh the golden deliberately after a behavior-changing PR:
+  #   cargo run --release -p pls-bench --example detcheck > crates/bench/examples/detcheck.golden
+  echo
+  echo "==> detcheck vs golden"
+  cargo run --release -q -p pls-bench --example detcheck \
+    | diff -u crates/bench/examples/detcheck.golden - \
+    || { echo "detcheck drifted from crates/bench/examples/detcheck.golden"; exit 1; }
 fi
 
 echo

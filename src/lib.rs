@@ -56,12 +56,13 @@ pub mod prelude {
         bench_format, levelize, CircuitStats, GateId, GateKind, IscasSynth, Netlist, NetlistBuilder,
     };
     pub use pls_partition::{
-        all_partitioners, metrics, partitioner_by_name, CircuitGraph, ClusterPartitioner,
-        ConePartitioner, DfsPartitioner, MultilevelPartitioner, Partitioner, Partitioning,
-        RandomPartitioner, TopologicalPartitioner,
+        all_partitioners, metrics, partitioner_by_name, partitioner_names, CircuitGraph,
+        ClusterPartitioner, ConePartitioner, DfsPartitioner, MultilevelPartitioner, Partitioner,
+        Partitioning, RandomPartitioner, TopologicalPartitioner,
     };
     pub use pls_timewarp::{
-        Application, Backend, Cancellation, CostModel, EventSink, KernelConfig, KernelStats, LpId,
-        NoProbe, Outcome, PlatformConfig, Probe, RunReport, SimError, Simulator, TimeSeries, VTime,
+        Application, Backend, Cancellation, CostModel, DynLbConfig, EventSink, KernelConfig,
+        KernelStats, LpId, NoProbe, Outcome, PlatformConfig, Probe, RunReport, SimError, Simulator,
+        TimeSeries, VTime,
     };
 }

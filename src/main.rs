@@ -35,9 +35,11 @@ USAGE:
   parlogsim stats     <circuit>                       circuit characteristics (Table 1 row)
   parlogsim generate  <s5378|s9234|s15850|N> [-o F]   synthetic benchmark to .bench
   parlogsim partition <circuit> [-k K] [-s STRAT]     partition and report quality
-  parlogsim simulate  <circuit> [-k K] [-s STRAT] [--end T] [--trace F [--bucket W]]
+  parlogsim simulate  <circuit> [-k K] [-s STRAT] [--end T] [--dynlb]
+                                [--trace F [--bucket W]]
                                                       Time Warp run vs sequential baseline
-                                                      (--trace dumps a JSONL telemetry series)
+                                                      (--dynlb migrates LPs at GVT commit;
+                                                       --trace dumps a JSONL telemetry series)
   parlogsim trace     <circuit> [-k K] [-s STRAT] [--end T] [--bucket W]
                                 [--format jsonl|csv] [-o F]
                                                       virtual-time telemetry series
@@ -153,7 +155,8 @@ fn required_circuit(rest: &[String]) -> Netlist {
 fn strategy_of(rest: &[String]) -> Box<dyn Partitioner + Send + Sync> {
     let name = flag(rest, "-s").unwrap_or("multilevel");
     partitioner_by_name(name).unwrap_or_else(|| {
-        eprintln!("unknown strategy `{name}`");
+        let valid: Vec<String> = partitioner_names().iter().map(|n| n.to_lowercase()).collect();
+        eprintln!("unknown strategy `{name}` (valid: {})", valid.join("|"));
         exit(2);
     })
 }
@@ -245,7 +248,10 @@ fn cmd_simulate(rest: &[String]) {
     let end: u64 = flag(rest, "--end").and_then(|v| v.parse().ok()).unwrap_or(400);
     let strategy = strategy_of(rest);
     let graph = CircuitGraph::from_netlist(&netlist);
-    let cfg = SimConfig { end_time: end, ..Default::default() };
+    let mut cfg = SimConfig { end_time: end, ..Default::default() };
+    if rest.iter().any(|a| a == "--dynlb") {
+        cfg.dynlb = Some(DynLbConfig::default());
+    }
     let seq = run_seq_baseline(&netlist, &cfg);
     out!("sequential: {} events, {:.3} modeled s", seq.events, seq.exec_time_s);
     let trace_path = flag(rest, "--trace");
@@ -256,14 +262,17 @@ fn cmd_simulate(rest: &[String]) {
         out!("{} on {k} nodes: OUT OF MEMORY", m.strategy);
         exit(1);
     }
+    let dynlb_note =
+        if cfg.dynlb.is_some() { format!(", {} migrations", m.migrations) } else { String::new() };
     out!(
-        "{} on {k} nodes: {:.3} modeled s ({:.2}x), {} messages, {} rollbacks, efficiency {:.0}%",
+        "{} on {k} nodes: {:.3} modeled s ({:.2}x), {} messages, {} rollbacks, efficiency {:.0}%{}",
         m.strategy,
         m.exec_time_s,
         seq.exec_time_s / m.exec_time_s,
         m.app_messages,
         m.rollbacks,
-        100.0 * m.events_committed as f64 / m.events_processed as f64
+        100.0 * m.events_committed as f64 / m.events_processed as f64,
+        dynlb_note
     );
     if let Some(path) = trace_path {
         let series = series.expect("recording was requested");
