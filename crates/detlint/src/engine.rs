@@ -1,0 +1,353 @@
+//! The analysis driver: file walking, waiver parsing, rule dispatch and
+//! report assembly (text and JSON).
+//!
+//! Scope: the determinism rules apply to the five kernel crates
+//! (`timewarp`, `partition`, `logic`, `netlist`, `gatesim`) — the code
+//! whose behavior reaches committed simulation output. `crates/bench`,
+//! the CLI, shims, `tests/`, `benches/`, `examples/` and `#[cfg(test)]`
+//! items are out of scope by construction.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+use crate::rules::{self, RuleId, Violation};
+
+/// Crates whose `src/` trees are scanned.
+pub const KERNEL_CRATES: [&str; 5] = ["timewarp", "partition", "logic", "netlist", "gatesim"];
+
+/// An inline waiver: `// detlint: allow(D001, <reason>)`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// Source line the waiver covers (its own line, or the next line
+    /// bearing code when the comment stands alone).
+    pub covers: u32,
+    /// Rules waived.
+    pub rules: Vec<RuleId>,
+    /// The written reason — mandatory.
+    pub reason: String,
+}
+
+/// A malformed waiver comment — always fatal, a silent waiver typo must
+/// not silently un-waive (or un-check) anything.
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    /// File-relative location.
+    pub file: String,
+    /// Line of the bad comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// One reported violation, after waiver matching.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id.
+    pub rule: RuleId,
+    /// Specific message.
+    pub message: String,
+    /// Waiver reason when the violation is waived.
+    pub waived: Option<String>,
+}
+
+/// The full analysis result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    /// Unwaived violations — nonzero fails the build.
+    pub violations: Vec<Finding>,
+    /// Waived violations, kept for the record (JSON report, audits).
+    pub waived: Vec<Finding>,
+    /// Malformed waivers — nonzero fails the build.
+    pub waiver_errors: Vec<WaiverError>,
+    /// Waivers that matched nothing (informational).
+    pub unused_waivers: Vec<WaiverError>,
+}
+
+impl Report {
+    /// Whether the tree passes the lint gate.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.waiver_errors.is_empty()
+    }
+}
+
+/// Which rules apply to a file, by workspace-relative path. `None` means
+/// the file is out of scope entirely.
+pub fn rules_for(rel: &str) -> Option<Vec<RuleId>> {
+    let rel = rel.replace('\\', "/");
+    let in_kernel = KERNEL_CRATES.iter().any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    if !in_kernel {
+        return None;
+    }
+    let mut rules: Vec<RuleId> = RuleId::ALL.to_vec();
+    if rel == "crates/timewarp/src/threaded.rs" {
+        // The audited concurrency surface: D004 is *about* keeping
+        // threads confined to this file.
+        rules.retain(|r| *r != RuleId::D004);
+    }
+    Some(rules)
+}
+
+/// Parse every waiver in a lexed file. Returns `(waivers, errors)`.
+pub fn parse_waivers(file: &str, lx: &Lexed) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    // Lines bearing at least one token, for standalone-comment coverage.
+    let token_lines: Vec<u32> = {
+        let mut v: Vec<u32> = lx.toks.iter().map(|t| t.line).collect();
+        v.dedup();
+        v
+    };
+    for c in &lx.comments {
+        let Some(pos) = c.text.find("detlint:") else { continue };
+        let body = c.text[pos + "detlint:".len()..].trim();
+        let mut err = |message: String| {
+            errors.push(WaiverError { file: file.to_string(), line: c.line, message });
+        };
+        let Some(args) = body.strip_prefix("allow") else {
+            err(format!("expected `allow(...)` after `detlint:`, found `{body}`"));
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(inner) = args.strip_prefix('(').and_then(|a| a.rfind(')').map(|e| &a[..e])) else {
+            err("expected `allow(RULES, reason)` with balanced parentheses".into());
+            continue;
+        };
+        // Leading comma-separated D-rule ids; everything after the first
+        // non-rule item (re-joined) is the reason text.
+        let mut rules_list = Vec::new();
+        let mut reason = String::new();
+        for (i, part) in inner.split(',').enumerate() {
+            let part_trim = part.trim();
+            if reason.is_empty() && RuleId::parse(part_trim).is_some() {
+                rules_list.push(RuleId::parse(part_trim).unwrap());
+            } else if reason.is_empty() {
+                reason = part_trim.to_string();
+            } else {
+                reason.push(',');
+                reason.push_str(part);
+            }
+            let _ = i;
+        }
+        if rules_list.is_empty() {
+            err("waiver names no rule (expected e.g. `allow(D001, reason)`)".into());
+            continue;
+        }
+        if reason.trim().is_empty() {
+            err(format!(
+                "waiver for {} has no reason — every waiver must say why",
+                rules_list.iter().map(|r| r.name()).collect::<Vec<_>>().join("+")
+            ));
+            continue;
+        }
+        let covers = if token_lines.binary_search(&c.line).is_ok() {
+            c.line
+        } else {
+            match token_lines.binary_search(&(c.line + 1)) {
+                Ok(i) => token_lines[i],
+                Err(i) if i < token_lines.len() => token_lines[i],
+                Err(_) => c.line,
+            }
+        };
+        waivers.push(Waiver {
+            line: c.line,
+            covers,
+            rules: rules_list,
+            reason: reason.trim().to_string(),
+        });
+    }
+    (waivers, errors)
+}
+
+/// Analyze one file's source under the given rules, applying waivers.
+/// Appends findings/errors to `report`.
+pub fn analyze_source(file: &str, src: &str, active: &[RuleId], report: &mut Report) {
+    let lx = lex(src);
+    let skip = rules::test_skip_mask(&lx);
+    let (waivers, mut werrs) = parse_waivers(file, &lx);
+    report.waiver_errors.append(&mut werrs);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    for rule in active {
+        match rule {
+            RuleId::D001 => rules::check_d001(&lx, &skip, &mut raw),
+            RuleId::D002 => rules::check_d002(&lx, &skip, &mut raw),
+            RuleId::D003 => rules::check_d003(&lx, &skip, &mut raw),
+            RuleId::D004 => rules::check_d004(&lx, &skip, &mut raw),
+            RuleId::D005 => rules::check_d005(&lx, &skip, &mut raw),
+        }
+    }
+    raw.sort_by_key(|v| (v.line, v.rule));
+
+    let mut used = vec![false; waivers.len()];
+    for v in raw {
+        let w = waivers.iter().position(|w| w.covers == v.line && w.rules.contains(&v.rule));
+        let finding = Finding {
+            file: file.to_string(),
+            line: v.line,
+            rule: v.rule,
+            message: v.message,
+            waived: w.map(|i| waivers[i].reason.clone()),
+        };
+        match w {
+            Some(i) => {
+                used[i] = true;
+                report.waived.push(finding);
+            }
+            None => report.violations.push(finding),
+        }
+    }
+    for (i, w) in waivers.iter().enumerate() {
+        if !used[i] {
+            report.unused_waivers.push(WaiverError {
+                file: file.to_string(),
+                line: w.line,
+                message: format!(
+                    "unused waiver for {} (covers line {}, nothing fired there)",
+                    w.rules.iter().map(|r| r.name()).collect::<Vec<_>>().join("+"),
+                    w.covers
+                ),
+            });
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// reports; `tests`, `benches`, `examples` and `fixtures` directories
+/// are skipped.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "tests" | "benches" | "examples" | "fixtures" | "target") {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze the whole workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for krate in KERNEL_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files)?;
+        for f in files {
+            let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
+            let Some(active) = rules_for(&rel) else { continue };
+            let src = std::fs::read_to_string(&f)?;
+            report.files += 1;
+            analyze_source(&rel, &src, &active, &mut report);
+        }
+    }
+    report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.waived.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    let mut s = format!(
+        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"",
+        json_escape(&f.file),
+        f.line,
+        f.rule.name(),
+        json_escape(&f.message),
+        json_escape(f.rule.hint())
+    );
+    if let Some(r) = &f.waived {
+        s.push_str(&format!(",\"waived\":\"{}\"", json_escape(r)));
+    }
+    s.push('}');
+    s
+}
+
+/// Render the machine-readable report.
+pub fn to_json(r: &Report) -> String {
+    let arr = |v: &[Finding]| v.iter().map(finding_json).collect::<Vec<_>>().join(",");
+    let errs = |v: &[WaiverError]| {
+        v.iter()
+            .map(|e| {
+                format!(
+                    "{{\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                    json_escape(&e.file),
+                    e.line,
+                    json_escape(&e.message)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"files_scanned\":{},\"clean\":{},\"violations\":[{}],\"waived\":[{}],\"waiver_errors\":[{}],\"unused_waivers\":[{}]}}",
+        r.files,
+        r.clean(),
+        arr(&r.violations),
+        arr(&r.waived),
+        errs(&r.waiver_errors),
+        errs(&r.unused_waivers)
+    )
+}
+
+/// Render the human-readable report.
+pub fn to_text(r: &Report) -> String {
+    let mut out = String::new();
+    for v in &r.violations {
+        out.push_str(&format!(
+            "{}:{}: {} {} — {}\n    hint: {}\n",
+            v.file,
+            v.line,
+            v.rule.name(),
+            v.rule.summary(),
+            v.message,
+            v.rule.hint()
+        ));
+    }
+    for e in &r.waiver_errors {
+        out.push_str(&format!("{}:{}: bad waiver — {}\n", e.file, e.line, e.message));
+    }
+    for e in &r.unused_waivers {
+        out.push_str(&format!("{}:{}: note: {}\n", e.file, e.line, e.message));
+    }
+    out.push_str(&format!(
+        "detlint: {} file(s) scanned, {} violation(s), {} waived, {} bad waiver(s)\n",
+        r.files,
+        r.violations.len(),
+        r.waived.len(),
+        r.waiver_errors.len()
+    ));
+    out
+}

@@ -1,0 +1,28 @@
+//! `pls-detlint` — determinism static analysis for the workspace.
+//!
+//! Every result in this reproduction rests on all three executives
+//! committing byte-identical histories. That property was previously
+//! guarded only at runtime (the `detcheck` golden diff), which — like any
+//! dynamic checker — can only catch hazards on paths a test happens to
+//! execute. This crate rejects nondeterminism *at the source level*:
+//!
+//! * a [rule engine](crate::engine) (rules [`RuleId::D001`]–
+//!   [`RuleId::D005`]) over a hand-rolled [lexer](crate::lexer), with
+//!   inline `// detlint: allow(D00x, reason)` waivers and a `--json`
+//!   machine report;
+//! * a front-end (`pls-detlint mc`) for the exhaustive interleaving
+//!   model checker in [`pls_timewarp::modelcheck`], which proves the
+//!   threaded executive's flush-and-barrier GVT and 4-phase migration
+//!   protocol safe under *all* schedules at small bounds.
+//!
+//! See `docs/LINTS.md` for the rule catalog and waiver syntax.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, analyze_workspace, rules_for, to_json, to_text, Finding, Report};
+pub use rules::RuleId;

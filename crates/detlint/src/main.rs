@@ -1,0 +1,157 @@
+//! `pls-detlint` command-line front-end.
+//!
+//! ```text
+//! pls-detlint --workspace [--root PATH] [--json]   # static determinism lint
+//! pls-detlint mc [--bound small|full] [--json]     # exhaustive protocol model check
+//! ```
+//!
+//! Exit status 0 means clean; 1 means violations (or a model-checking
+//! counterexample); 2 means usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pls_detlint::{analyze_workspace, to_json, to_text};
+use pls_timewarp::modelcheck::{explore, standard_configs, Bug, ModelConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pls-detlint --workspace [--root PATH] [--json]\n       pls-detlint mc [--bound small|full] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("mc") {
+        return run_mc(&args[1..]);
+    }
+    run_lint(&args)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if !workspace {
+        return usage();
+    }
+    let root = root.unwrap_or_else(|| {
+        // Default to the workspace containing this binary's sources:
+        // CARGO_MANIFEST_DIR/../.. at build time, cwd at run time.
+        PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or(".")).join("../..")
+    });
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pls-detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", to_json(&report));
+    } else {
+        print!("{}", to_text(&report));
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_mc(args: &[String]) -> ExitCode {
+    let mut bound = "small".to_string();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bound" => match it.next() {
+                Some(b) if b == "small" || b == "full" => bound = b.clone(),
+                _ => return usage(),
+            },
+            "--json" => json = true,
+            "--self-test" => {
+                // Prove the checker detects both injected bug shapes.
+                return run_self_test();
+            }
+            _ => return usage(),
+        }
+    }
+    let configs = standard_configs(bound == "full");
+    let mut all_passed = true;
+    let mut lines = Vec::new();
+    for (name, cfg) in &configs {
+        let report = explore(cfg);
+        let ok = report.passed();
+        all_passed &= ok;
+        if json {
+            lines.push(format!(
+                "{{\"config\":\"{}\",\"states\":{},\"transitions\":{},\"schedules\":{},\"complete\":{},\"passed\":{}}}",
+                name, report.states, report.transitions, report.terminals, report.complete, ok
+            ));
+        } else {
+            println!(
+                "model-check [{}] {}: {} states, {} transitions, {} terminal schedules{}",
+                if ok { "PASS" } else { "FAIL" },
+                name,
+                report.states,
+                report.transitions,
+                report.terminals,
+                if report.complete { "" } else { " (bound hit — incomplete)" },
+            );
+            if let Some(cx) = &report.violation {
+                println!("  violation: {}", cx.message);
+                println!("  trace ({} steps): {}", cx.trace.len(), cx.trace.join(" -> "));
+            }
+        }
+    }
+    if json {
+        println!("[{}]", lines.join(","));
+    }
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_self_test() -> ExitCode {
+    let shapes: [(&str, Bug); 2] = [
+        ("dropped flush transmission", Bug::DropFlushTransmission),
+        ("double-owner migration window", Bug::DoubleOwnerMigration),
+    ];
+    let mut ok = true;
+    for (name, bug) in shapes {
+        let mut cfg = ModelConfig::small_2x2();
+        cfg.bug = Some(bug);
+        let report = explore(&cfg);
+        match &report.violation {
+            Some(cx) => println!(
+                "self-test [PASS] {name}: detected after {} states — {}",
+                report.states, cx.message
+            ),
+            None => {
+                println!("self-test [FAIL] {name}: bug NOT detected ({} states)", report.states);
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

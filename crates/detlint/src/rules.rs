@@ -1,0 +1,449 @@
+//! The determinism rule catalog (D001–D005).
+//!
+//! Every rule is a token-pattern matcher over [`crate::lexer`] output.
+//! Rules are deliberately conservative in *scope* (kernel crates only,
+//! test modules skipped) and conservative in *pattern* (they flag the
+//! constructions that can leak nondeterminism into committed simulation
+//! output, not every use of a type). False positives are expected to be
+//! rare and are handled by inline waivers with written reasons — see
+//! `docs/LINTS.md`.
+
+use crate::lexer::{Lexed, Tok};
+
+/// A rule identifier, e.g. `D001`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` with the default `RandomState` hasher in
+    /// kernel code — iteration order leaks into observable output.
+    D001,
+    /// Host time (`Instant::now`, `SystemTime`) in kernel code.
+    D002,
+    /// Float casts or float arithmetic on virtual-time values.
+    D003,
+    /// Thread/channel/lock primitives outside the audited threaded
+    /// executive.
+    D004,
+    /// `unsafe` without a waiver.
+    D005,
+}
+
+impl RuleId {
+    /// All rules, in catalog order.
+    pub const ALL: [RuleId; 5] =
+        [RuleId::D001, RuleId::D002, RuleId::D003, RuleId::D004, RuleId::D005];
+
+    /// Parse `"D001"` → `RuleId::D001`.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D001" => Some(RuleId::D001),
+            "D002" => Some(RuleId::D002),
+            "D003" => Some(RuleId::D003),
+            "D004" => Some(RuleId::D004),
+            "D005" => Some(RuleId::D005),
+            _ => None,
+        }
+    }
+
+    /// The canonical `D00x` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
+        }
+    }
+
+    /// One-line summary for reports and `docs/LINTS.md`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D001 => "RandomState-hashed map/set in kernel code",
+            RuleId::D002 => "host time source in kernel code",
+            RuleId::D003 => "float arithmetic on virtual time",
+            RuleId::D004 => "concurrency primitive outside the audited threaded executive",
+            RuleId::D005 => "unwaived unsafe block",
+        }
+    }
+
+    /// The fix hint attached to every violation of this rule.
+    pub fn hint(self) -> &'static str {
+        match self {
+            RuleId::D001 => "use BTreeMap/BTreeSet, or HashMap<_, _, IdHashBuilder> (pls_timewarp::pool) when iteration order is provably unobservable",
+            RuleId::D002 => "virtual time comes from VTime; host time is allowed only in crates/bench and waived telemetry host-time columns",
+            RuleId::D003 => "keep SimTime/VTime arithmetic in u64; convert to float only for derived reporting metrics, never back",
+            RuleId::D004 => "threads, channels and locks live in timewarp/src/threaded.rs; everything else must stay single-threaded deterministic",
+            RuleId::D005 => "add `// detlint: allow(D005, <why this unsafe is sound and deterministic>)` or rewrite safely",
+        }
+    }
+}
+
+/// One rule violation, pre-waiver.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// 1-based source line.
+    pub line: u32,
+    /// Specific message (the generic hint lives on the rule).
+    pub message: String,
+}
+
+/// Identifiers that mark a value as virtual time for D003's
+/// co-occurrence check.
+const VTIME_MARKERS: [&str; 9] = [
+    "VTime",
+    "SimTime",
+    "gvt",
+    "lvt",
+    "recv_time",
+    "send_time",
+    "vtime",
+    "virtual_time",
+    "local_min",
+];
+
+/// Concurrency-primitive identifiers for D004.
+const D004_TYPES: [&str; 10] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "mpsc",
+    "AtomicBool",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI64",
+];
+
+fn ident_at(lx: &Lexed, i: usize) -> Option<&str> {
+    match &lx.toks.get(i)?.tok {
+        Tok::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(lx: &Lexed, i: usize) -> Option<&str> {
+    match lx.toks.get(i)?.tok {
+        Tok::Punct(p) => Some(p),
+        _ => None,
+    }
+}
+
+/// Count top-level generic arguments of `Type<...>` where `open` indexes
+/// the `<`. Returns `(args, index_past_closing_angle)`; `None` when the
+/// angle brackets never close (lexer confusion — treated as "unknown, do
+/// not flag").
+fn generic_args(lx: &Lexed, open: usize) -> Option<(usize, usize)> {
+    debug_assert_eq!(punct_at(lx, open), Some("<"));
+    let mut depth = 1usize;
+    let mut paren = 0usize;
+    let mut args = 1usize;
+    let mut saw_any = false;
+    let mut i = open + 1;
+    while i < lx.toks.len() {
+        match &lx.toks[i].tok {
+            Tok::Punct("(") | Tok::Punct("[") => {
+                paren += 1;
+                saw_any = true;
+            }
+            Tok::Punct(")") | Tok::Punct("]") => paren = paren.saturating_sub(1),
+            Tok::Punct("<") => depth += 1,
+            Tok::Punct(">") => {
+                depth -= 1;
+                if depth == 0 {
+                    return if saw_any { Some((args, i + 1)) } else { Some((0, i + 1)) };
+                }
+            }
+            Tok::Punct(",") if depth == 1 && paren == 0 => {
+                // Ignore a trailing comma right before `>`.
+                if punct_at(lx, i + 1) != Some(">") {
+                    args += 1;
+                }
+            }
+            Tok::Punct(";") | Tok::Punct("{") => return None, // statement ended: comparison, not generics
+            _ => saw_any = true,
+        }
+        i += 1;
+    }
+    None
+}
+
+/// D001: `HashMap`/`HashSet` constructed with the default hasher.
+///
+/// Flags (a) type mentions `HashMap<K, V>` / `HashSet<T>` without an
+/// explicit third/second (hasher) parameter, and (b) the
+/// RandomState-only constructors `::new` / `::with_capacity` / `::from`.
+/// `use` items and `::default()` (hasher inferred from an annotation
+/// that is itself checked) are not flagged.
+// Rule walkers index by position: they look ahead (`i + 1`, `i + 2`) and
+// consult the parallel `skip` mask, so an iterator rewrite would obscure them.
+#[allow(clippy::needless_range_loop)]
+pub fn check_d001(lx: &Lexed, skip: &[bool], out: &mut Vec<Violation>) {
+    let mut in_use = false;
+    for i in 0..lx.toks.len() {
+        if skip[i] {
+            continue;
+        }
+        match &lx.toks[i].tok {
+            Tok::Ident(id) if id == "use" => in_use = true,
+            Tok::Punct(";") => in_use = false,
+            Tok::Ident(id) if (id == "HashMap" || id == "HashSet") && !in_use => {
+                let is_map = id == "HashMap";
+                let line = lx.toks[i].line;
+                if punct_at(lx, i + 1) == Some("<") {
+                    if let Some((args, _)) = generic_args(lx, i + 1) {
+                        let needed = if is_map { 3 } else { 2 };
+                        if args > 0 && args < needed {
+                            out.push(Violation {
+                                rule: RuleId::D001,
+                                line,
+                                message: format!(
+                                    "{id}<…> with {args} generic argument{} uses the default RandomState hasher",
+                                    if args == 1 { "" } else { "s" }
+                                ),
+                            });
+                        }
+                    }
+                } else if punct_at(lx, i + 1) == Some("::") {
+                    if let Some(m) = ident_at(lx, i + 2) {
+                        if matches!(m, "new" | "with_capacity" | "from") {
+                            out.push(Violation {
+                                rule: RuleId::D001,
+                                line,
+                                message: format!(
+                                    "{id}::{m} constructs a RandomState-hashed {}",
+                                    if is_map { "map" } else { "set" }
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// D002: `Instant::now` / any `SystemTime` use.
+#[allow(clippy::needless_range_loop)]
+pub fn check_d002(lx: &Lexed, skip: &[bool], out: &mut Vec<Violation>) {
+    let mut in_use = false;
+    for i in 0..lx.toks.len() {
+        if skip[i] {
+            continue;
+        }
+        match &lx.toks[i].tok {
+            Tok::Ident(id) if id == "use" => in_use = true,
+            Tok::Punct(";") => in_use = false,
+            Tok::Ident(id)
+                if id == "Instant"
+                    && !in_use
+                    && punct_at(lx, i + 1) == Some("::")
+                    && ident_at(lx, i + 2) == Some("now") =>
+            {
+                out.push(Violation {
+                    rule: RuleId::D002,
+                    line: lx.toks[i].line,
+                    message: "Instant::now reads the host clock".into(),
+                });
+            }
+            Tok::Ident(id) if id == "SystemTime" && !in_use => {
+                out.push(Violation {
+                    rule: RuleId::D002,
+                    line: lx.toks[i].line,
+                    message: "SystemTime reads the host clock".into(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// D003: float taint on virtual time, detected by statement-level
+/// co-occurrence of a float marker (`f32`/`f64` ident or cast target,
+/// or a float literal) with a virtual-time marker identifier.
+/// Statements are token runs between `;`, `{` and `}`.
+pub fn check_d003(lx: &Lexed, skip: &[bool], out: &mut Vec<Violation>) {
+    let mut start = 0usize;
+    for i in 0..=lx.toks.len() {
+        let boundary = i == lx.toks.len()
+            || matches!(lx.toks[i].tok, Tok::Punct(";") | Tok::Punct("{") | Tok::Punct("}"));
+        if !boundary {
+            continue;
+        }
+        let seg = start..i;
+        start = i + 1;
+        let mut float_line = None;
+        let mut vtime_line = None;
+        for j in seg {
+            if skip[j] {
+                continue;
+            }
+            match &lx.toks[j].tok {
+                Tok::Ident(id) if id == "f32" || id == "f64" => float_line = Some(lx.toks[j].line),
+                Tok::Num(t) if is_float_literal(t) => float_line = Some(lx.toks[j].line),
+                Tok::Ident(id) if VTIME_MARKERS.contains(&id.as_str()) => {
+                    vtime_line = Some(lx.toks[j].line)
+                }
+                _ => {}
+            }
+        }
+        if let (Some(_), Some(vl)) = (float_line, vtime_line) {
+            out.push(Violation {
+                rule: RuleId::D003,
+                line: vl,
+                message: "float arithmetic/cast in a statement handling virtual time".into(),
+            });
+        }
+    }
+}
+
+fn is_float_literal(t: &str) -> bool {
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    let t = t.trim_end_matches("f32").trim_end_matches("f64");
+    t.contains('.') || t[1..].contains(['e', 'E'])
+}
+
+/// D004: thread spawns, channels, locks and atomics.
+#[allow(clippy::needless_range_loop)]
+pub fn check_d004(lx: &Lexed, skip: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..lx.toks.len() {
+        if skip[i] {
+            continue;
+        }
+        let Tok::Ident(id) = &lx.toks[i].tok else { continue };
+        let line = lx.toks[i].line;
+        if id == "thread"
+            && punct_at(lx, i + 1) == Some("::")
+            && matches!(ident_at(lx, i + 2), Some("spawn" | "scope" | "Builder"))
+        {
+            out.push(Violation {
+                rule: RuleId::D004,
+                line,
+                message: format!("thread::{} spawns OS threads", ident_at(lx, i + 2).unwrap()),
+            });
+        } else if D004_TYPES.contains(&id.as_str()) {
+            out.push(Violation {
+                rule: RuleId::D004,
+                line,
+                message: format!("concurrency primitive `{id}`"),
+            });
+        }
+    }
+}
+
+/// D005: `unsafe`.
+#[allow(clippy::needless_range_loop)]
+pub fn check_d005(lx: &Lexed, skip: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..lx.toks.len() {
+        if skip[i] {
+            continue;
+        }
+        if matches!(&lx.toks[i].tok, Tok::Ident(id) if id == "unsafe") {
+            out.push(Violation {
+                rule: RuleId::D005,
+                line: lx.toks[i].line,
+                message: "unsafe code".into(),
+            });
+        }
+    }
+}
+
+/// Compute the token-skip mask for a file: `#[cfg(test)]` items (module
+/// bodies, functions, use items) are invisible to every rule — test-only
+/// nondeterminism cannot reach committed simulation output.
+pub fn test_skip_mask(lx: &Lexed) -> Vec<bool> {
+    let n = lx.toks.len();
+    let mut skip = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if is_cfg_test_attr(lx, i) {
+            // Skip past this and any further attributes, then the item.
+            let mut j = i;
+            while is_attr_start(lx, j) {
+                j = skip_attr(lx, j);
+            }
+            // Find the item's end: first top-level `;` or the matching `}`
+            // of its first `{`.
+            let mut k = j;
+            let mut end = n;
+            while k < n {
+                match lx.toks[k].tok {
+                    Tok::Punct(";") => {
+                        end = k + 1;
+                        break;
+                    }
+                    Tok::Punct("{") => {
+                        end = match_brace(lx, k);
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            for s in skip.iter_mut().take(end.min(n)).skip(i) {
+                *s = true;
+            }
+            i = end.min(n);
+        } else {
+            i += 1;
+        }
+    }
+    skip
+}
+
+fn is_attr_start(lx: &Lexed, i: usize) -> bool {
+    punct_at(lx, i) == Some("#") && punct_at(lx, i + 1) == Some("[")
+}
+
+fn is_cfg_test_attr(lx: &Lexed, i: usize) -> bool {
+    is_attr_start(lx, i)
+        && ident_at(lx, i + 2) == Some("cfg")
+        && punct_at(lx, i + 3) == Some("(")
+        && ident_at(lx, i + 4) == Some("test")
+        && punct_at(lx, i + 5) == Some(")")
+        && punct_at(lx, i + 6) == Some("]")
+}
+
+fn skip_attr(lx: &Lexed, i: usize) -> usize {
+    debug_assert!(is_attr_start(lx, i));
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < lx.toks.len() {
+        match lx.toks[j].tok {
+            Tok::Punct("[") => depth += 1,
+            Tok::Punct("]") => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    lx.toks.len()
+}
+
+fn match_brace(lx: &Lexed, open: usize) -> usize {
+    debug_assert_eq!(punct_at(lx, open), Some("{"));
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < lx.toks.len() {
+        match lx.toks[j].tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    lx.toks.len()
+}

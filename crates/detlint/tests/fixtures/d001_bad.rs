@@ -1,0 +1,15 @@
+// D001 positive fixture: RandomState-hashed containers in kernel code.
+use std::collections::{HashMap, HashSet};
+
+struct Index {
+    by_id: HashMap<u64, usize>,            // line 5: 2-arg type
+    members: HashSet<u32>,                 // line 6: 1-arg type
+    payloads: std::collections::HashMap<u64, (u32, u64, u32)>, // line 7: tuple value
+}
+
+fn build() -> HashMap<String, u32> {
+    let mut m = HashMap::new();            // line 11: ::new constructor
+    m.insert("a".to_string(), 1);
+    let _s: HashSet<u32> = HashSet::with_capacity(8); // line 13: with_capacity
+    m
+}

@@ -1,0 +1,30 @@
+// D001 negative fixture: deterministic containers and near-miss syntax
+// that must NOT fire.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use crate::pool::IdHashBuilder;
+
+struct Index {
+    by_id: HashMap<u64, usize, IdHashBuilder>, // explicit fixed-seed hasher
+    members: BTreeSet<u32>,
+    order: BTreeMap<String, u32>,
+}
+
+fn build(n: usize, k: usize) -> bool {
+    let mut m: HashMap<u64, u64, IdHashBuilder> = HashMap::default(); // ::default() hasher comes from the checked annotation
+    m.insert(1, 2);
+    // Comparison chains must not parse as generic arguments.
+    n < m.len() && k > 1
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is out of scope for D001.
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

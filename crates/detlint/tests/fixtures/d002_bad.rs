@@ -1,0 +1,8 @@
+// D002 positive fixture: host time sources in kernel code.
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u64 {
+    let t0 = Instant::now();               // line 5: Instant::now
+    let _wall = SystemTime::now();         // line 6: SystemTime
+    t0.elapsed().as_nanos() as u64
+}

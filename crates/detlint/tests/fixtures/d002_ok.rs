@@ -1,0 +1,11 @@
+// D002 negative fixture: virtual time and waived host time.
+use crate::time::VTime;
+
+fn advance(now: VTime, delta: u64) -> VTime {
+    now.after(delta)
+}
+
+fn telemetry_stamp() -> std::time::Instant {
+    // detlint: allow(D002, host wall-clock feeds a telemetry host-time column only)
+    std::time::Instant::now()
+}

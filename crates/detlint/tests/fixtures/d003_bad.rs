@@ -1,0 +1,11 @@
+// D003 positive fixture: float arithmetic touching virtual time.
+use crate::time::VTime;
+
+fn skew(gvt: u64, factor: f64) -> u64 {
+    (gvt as f64 * factor) as u64           // line 5: f64 arithmetic on gvt
+}
+
+fn window(lvt: VTime) -> VTime {
+    let scaled = lvt.0 as f32 * 1.5;       // line 9: float literal times lvt
+    VTime(scaled as u64)
+}

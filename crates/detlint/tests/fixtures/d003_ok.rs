@@ -1,0 +1,12 @@
+// D003 negative fixture: integer virtual-time math, and float math on
+// host-side quantities that never touches virtual time.
+use crate::time::VTime;
+
+fn advance(gvt: VTime, delta: u64) -> VTime {
+    VTime(gvt.0.saturating_add(delta))
+}
+
+fn throughput(events: u64, max_clock: u64) -> f64 {
+    // Host-side rate: floats are fine, no virtual-time value involved.
+    events as f64 / (max_clock as f64 / 1e9)
+}

@@ -1,0 +1,15 @@
+// D004 positive fixture: ad-hoc threading/synchronization outside the
+// audited surface of threaded.rs.
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+fn fan_out(work: Vec<u64>) -> u64 {
+    let total = Mutex::new(0u64);          // line 7: Mutex
+    let count = AtomicU64::new(0);         // line 8: atomic
+    std::thread::spawn(move || {           // line 9: thread::spawn
+        let _ = work.len();
+    });
+    let (tx, rx) = std::sync::mpsc::channel::<u64>(); // line 12: mpsc
+    drop((tx, rx, count));
+    *total.lock().unwrap()
+}

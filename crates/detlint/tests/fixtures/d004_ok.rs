@@ -1,0 +1,10 @@
+// D004 negative fixture: plain sequential kernel code; "thread" as an
+// ordinary identifier must not fire.
+fn run(threads_hint: usize) -> usize {
+    let thread_count = threads_hint.max(1);
+    let mut spawned = 0usize;
+    for _ in 0..thread_count {
+        spawned += 1;
+    }
+    spawned
+}

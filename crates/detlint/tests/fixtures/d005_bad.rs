@@ -1,0 +1,4 @@
+// D005 positive fixture: unwaived `unsafe`.
+fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }         // line 3: unsafe without waiver
+}

@@ -1,0 +1,10 @@
+// D005 negative fixture: safe code, plus a properly waived unsafe block.
+fn read_first(v: &[u32]) -> u32 {
+    v[0]
+}
+
+fn read_hot(v: &[u32], i: usize) -> u32 {
+    debug_assert!(i < v.len());
+    // detlint: allow(D005, bounds proven by the debug_assert above; hot path measured 4% faster)
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,26 @@
+// Waiver-syntax fixture.
+use std::collections::HashMap;
+
+fn good_waiver() -> usize {
+    // detlint: allow(D001, lookup-only side table; iteration order never observed)
+    let m: HashMap<u32, u32> = HashMap::with_capacity(4);
+    m.len()
+}
+
+fn missing_reason() -> usize {
+    // detlint: allow(D001)
+    let m: HashMap<u32, u32> = HashMap::with_capacity(4);
+    m.len()
+}
+
+fn multi_rule() -> usize {
+    // detlint: allow(D001, D002, scratch table stamped with a host time; both justified here)
+    let m: HashMap<u64, std::time::SystemTime> = HashMap::with_capacity(1);
+    m.len()
+}
+
+// detlint: allow(D999, no such rule)
+fn unknown_rule() {}
+
+// detlint: allow(D002, waiver that matches nothing on the next line)
+fn unused_waiver() {}

@@ -17,6 +17,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod delay;
 pub mod eval;

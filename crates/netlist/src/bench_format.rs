@@ -14,7 +14,7 @@
 //! Parsing is two-pass so signals may be used before they are defined,
 //! which real benchmark files do freely.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::NetlistError;
 use crate::gate::{GateId, GateKind};
@@ -105,7 +105,7 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
     }
 
     // Pass 2: resolve fanin names.
-    let name_to_id: HashMap<String, GateId> = pending_gates
+    let name_to_id: BTreeMap<String, GateId> = pending_gates
         .iter()
         .zip(&gate_ids)
         .map(|((_, out, _, _), &id)| (out.clone(), id))

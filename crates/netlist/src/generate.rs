@@ -271,7 +271,7 @@ impl IscasSynth {
         // then (if the profile asks for more outputs than there are unread
         // gates) the remaining deepest gates. Candidates are deduplicated,
         // so exactly `self.outputs` gates are marked.
-        let mut seen_out = std::collections::HashSet::new();
+        let mut seen_out = std::collections::BTreeSet::new();
         let candidates = (1..=depth)
             .rev()
             .flat_map(|l| by_level[l].iter().copied())

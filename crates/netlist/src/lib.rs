@@ -27,6 +27,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod bench_format;
 pub mod cone;

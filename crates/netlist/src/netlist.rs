@@ -6,7 +6,7 @@
 //! order; fanout adjacency is derived when the netlist is frozen by the
 //! builder.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::NetlistError;
 use crate::gate::{Gate, GateId, GateKind};
@@ -27,7 +27,7 @@ pub struct Netlist {
     inputs: Vec<GateId>,
     outputs: Vec<GateId>,
     dffs: Vec<GateId>,
-    by_name: HashMap<String, GateId>,
+    by_name: BTreeMap<String, GateId>,
 }
 
 impl Netlist {
@@ -122,7 +122,7 @@ pub struct NetlistBuilder {
     name: String,
     gates: Vec<Gate>,
     outputs: Vec<GateId>,
-    by_name: HashMap<String, GateId>,
+    by_name: BTreeMap<String, GateId>,
 }
 
 impl NetlistBuilder {

@@ -22,6 +22,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod baselines;
 pub mod dot;

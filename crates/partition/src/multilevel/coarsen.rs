@@ -171,8 +171,8 @@ fn coarsen_round(g: &CircuitGraph, seeds: &[VertexId], cfg: &CoarsenConfig) -> O
     let mut vweight = vec![0u64; m];
     let mut is_input = vec![false; m];
     let mut merged = vec![false; m];
-    let mut edge_acc: Vec<std::collections::HashMap<u32, u64>> =
-        vec![std::collections::HashMap::new(); m];
+    let mut edge_acc: Vec<std::collections::BTreeMap<u32, u64>> =
+        vec![std::collections::BTreeMap::new(); m];
 
     for (gid, members) in groups.iter().enumerate() {
         merged[gid] = members.len() > 1;
@@ -187,14 +187,10 @@ fn coarsen_round(g: &CircuitGraph, seeds: &[VertexId], cfg: &CoarsenConfig) -> O
             }
         }
     }
-    let fanout: Vec<Vec<(VertexId, u64)>> = edge_acc
-        .into_iter()
-        .map(|m| {
-            let mut v: Vec<(VertexId, u64)> = m.into_iter().collect();
-            v.sort_unstable();
-            v
-        })
-        .collect();
+    // BTreeMap iterates in key order, so the fanout lists come out
+    // already sorted.
+    let fanout: Vec<Vec<(VertexId, u64)>> =
+        edge_acc.into_iter().map(|m| m.into_iter().collect()).collect();
 
     let graph = CircuitGraph::from_parts(g.name().to_string(), vweight, fanout, is_input);
     Some(CoarseLevel { graph, map: group_of, merged })

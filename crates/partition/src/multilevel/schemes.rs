@@ -102,8 +102,8 @@ pub(crate) fn build_coarse_level(
     let mut vweight = vec![0u64; m];
     let mut is_input = vec![false; m];
     let mut merged = vec![false; m];
-    let mut edge_acc: Vec<std::collections::HashMap<u32, u64>> =
-        vec![std::collections::HashMap::new(); m];
+    let mut edge_acc: Vec<std::collections::BTreeMap<u32, u64>> =
+        vec![std::collections::BTreeMap::new(); m];
     for (gid, members) in groups.iter().enumerate() {
         merged[gid] = members.len() > 1;
         for &v in members {
@@ -117,14 +117,10 @@ pub(crate) fn build_coarse_level(
             }
         }
     }
-    let fanout: Vec<Vec<(VertexId, u64)>> = edge_acc
-        .into_iter()
-        .map(|m| {
-            let mut v: Vec<(VertexId, u64)> = m.into_iter().collect();
-            v.sort_unstable();
-            v
-        })
-        .collect();
+    // BTreeMap iterates in key order, so the fanout lists come out
+    // already sorted.
+    let fanout: Vec<Vec<(VertexId, u64)>> =
+        edge_acc.into_iter().map(|m| m.into_iter().collect()).collect();
     let graph = CircuitGraph::from_parts(g.name().to_string(), vweight, fanout, is_input);
     CoarseLevel { graph, map: group_of.to_vec(), merged }
 }

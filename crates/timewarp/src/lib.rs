@@ -23,6 +23,7 @@
 //! time and exports JSONL/CSV (see `docs/TELEMETRY.md`).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod app;
 pub mod config;
@@ -31,6 +32,7 @@ pub mod dynlb;
 pub mod event;
 pub mod hotspot;
 pub mod lp;
+pub mod modelcheck;
 pub mod phold;
 pub mod platform;
 pub mod pool;

@@ -5,12 +5,12 @@
 //! travel between them.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::app::{Application, EventSink};
 use crate::config::{Cancellation, KernelConfig};
 use crate::event::{AntiEvent, Event, EventId, LpId, Transmission};
-use crate::pool::{EventPool, IdHashBuilder, Loc, Slot};
+use crate::pool::{EventPool, IdHashMap, Loc, Slot};
 use crate::probe::{Probe, RollbackKind};
 use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
@@ -50,7 +50,7 @@ pub struct LpRuntime<A: Application> {
     /// Annihilation index: where every live inbound event id is right now
     /// (pending slot / processed / orphan anti). Turns anti-message
     /// matching from a queue scan into one hash lookup.
-    index: HashMap<EventId, Loc, IdHashBuilder>,
+    index: IdHashMap<EventId, Loc>,
     /// Processed events in execution order (non-decreasing recv_time).
     processed: Vec<Event<A::Msg>>,
     /// State checkpoints, oldest first; index 0 is always usable.
@@ -66,7 +66,7 @@ pub struct LpRuntime<A: Application> {
     /// front of the linear regeneration scan over `pending_cancel` (the
     /// message payload is only `PartialEq`, so a full hash key over the
     /// triple is not available).
-    cancel_keys: HashMap<(LpId, VTime), u32, IdHashBuilder>,
+    cancel_keys: IdHashMap<(LpId, VTime), u32>,
     /// Anti-messages that arrived before their positives (cannot happen on
     /// FIFO transports, handled for robustness).
     orphan_antis: Vec<AntiEvent>,
@@ -104,12 +104,12 @@ impl<A: Application> LpRuntime<A> {
             out_seq: 0,
             pool: EventPool::default(),
             heap: BinaryHeap::new(),
-            index: HashMap::default(),
+            index: IdHashMap::default(),
             processed: Vec::new(),
             states: vec![SavedState { tag: None, processed_len: 0, state }],
             outputs: Vec::new(),
             pending_cancel: Vec::new(),
-            cancel_keys: HashMap::default(),
+            cancel_keys: IdHashMap::default(),
             orphan_antis: Vec::new(),
             batches_since_checkpoint: 0,
             cfg: cfg.normalized(),

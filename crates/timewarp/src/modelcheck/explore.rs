@@ -1,0 +1,146 @@
+//! Exhaustive DFS schedule exploration with hash-compaction pruning.
+//!
+//! The explorer enumerates every scheduler choice ([`State::enabled`])
+//! depth-first, checking [`State::check_invariants`] at every reachable
+//! state. Visited states are pruned by a 64-bit state hash
+//! (hash compaction, as in stateless model checkers): a collision could
+//! in principle mask a state, but traversal order — and therefore every
+//! reported count — is fully deterministic, which the regression suite
+//! asserts.
+
+use std::hash::BuildHasher;
+
+use crate::pool::{IdHashBuilder, IdHashSet};
+
+use super::model::{ModelConfig, State, Step};
+
+/// A safety violation plus the schedule that reached it.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// What went wrong.
+    pub message: String,
+    /// The step labels of the violating schedule, in order.
+    pub trace: Vec<String>,
+}
+
+/// Result of one exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Unique states visited (post-pruning).
+    pub states: u64,
+    /// Transitions applied (including ones into already-visited states).
+    pub transitions: u64,
+    /// Distinct terminal (all-exited) states reached.
+    pub terminals: u64,
+    /// Deepest schedule prefix explored.
+    pub max_depth_seen: usize,
+    /// Whether the state space was fully enumerated (no bound hit).
+    pub complete: bool,
+    /// First violation found, if any (exploration stops there).
+    pub violation: Option<Counterexample>,
+}
+
+impl CheckReport {
+    /// True when exploration finished with no violation and no bound hit.
+    pub fn passed(&self) -> bool {
+        self.complete && self.violation.is_none()
+    }
+}
+
+fn state_hash(builder: &IdHashBuilder, s: &State) -> u64 {
+    builder.hash_one(s)
+}
+
+struct Frame {
+    state: State,
+    steps: Vec<Step>,
+    next: usize,
+}
+
+/// Exhaustively explore every interleaving of `cfg` from the initial
+/// state. Stops at the first violation (with its trace) or when the
+/// state space is exhausted.
+pub fn explore(cfg: &ModelConfig) -> CheckReport {
+    let builder = IdHashBuilder::default();
+    // Hash-compaction visited set, keyed by the kernel's fixed-seed
+    // IdHashBuilder; iteration order is never observed.
+    let mut visited: IdHashSet<u64> = IdHashSet::default();
+    let mut report = CheckReport {
+        states: 0,
+        transitions: 0,
+        terminals: 0,
+        max_depth_seen: 0,
+        complete: true,
+        violation: None,
+    };
+
+    let initial = State::initial(cfg);
+    if let Some(msg) = initial.check_invariants() {
+        report.violation = Some(Counterexample { message: msg, trace: Vec::new() });
+        return report;
+    }
+    visited.insert(state_hash(&builder, &initial));
+    report.states = 1;
+    let steps = initial.enabled();
+    let mut stack = vec![Frame { state: initial, steps, next: 0 }];
+    let mut path: Vec<String> = Vec::new();
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.next >= frame.steps.len() {
+            stack.pop();
+            path.pop();
+            continue;
+        }
+        let step = frame.steps[frame.next];
+        frame.next += 1;
+        let mut next_state = frame.state.clone();
+        let label = match next_state.apply(step, cfg) {
+            Ok(label) => label,
+            Err(msg) => {
+                let mut trace = path.clone();
+                trace.push(step.label());
+                report.violation = Some(Counterexample { message: msg, trace });
+                return report;
+            }
+        };
+        report.transitions += 1;
+        if let Some(msg) = next_state.check_invariants() {
+            let mut trace = path.clone();
+            trace.push(label);
+            report.violation = Some(Counterexample { message: msg, trace });
+            return report;
+        }
+        if !visited.insert(state_hash(&builder, &next_state)) {
+            continue;
+        }
+        report.states += 1;
+        if report.states as usize > cfg.max_states {
+            report.complete = false;
+            return report;
+        }
+        let next_steps = next_state.enabled();
+        if next_steps.is_empty() {
+            if next_state.terminated() {
+                report.terminals += 1;
+            } else {
+                let mut trace = path.clone();
+                trace.push(label);
+                report.violation = Some(Counterexample {
+                    message: "deadlock: no cluster has an enabled step and not all have exited"
+                        .into(),
+                    trace,
+                });
+                return report;
+            }
+            continue;
+        }
+        if stack.len() + 1 > cfg.max_depth {
+            report.complete = false;
+            return report;
+        }
+        report.max_depth_seen = report.max_depth_seen.max(stack.len() + 1);
+        stack.push(Frame { state: next_state, steps: next_steps, next: 0 });
+        path.push(label);
+    }
+    report
+}

@@ -1,0 +1,53 @@
+//! Exhaustive interleaving model checker for the threaded executive's
+//! synchronization protocol.
+//!
+//! The threaded executive ([`crate::threaded`]) synchronizes clusters
+//! through three mechanisms whose correctness is schedule-dependent:
+//! the flush-and-barrier GVT (repeated drain rounds until a round routes
+//! zero messages, proving nothing is in flight), optimistic rollback
+//! with anti-message cancellation, and the 4-phase LP migration handoff
+//! from [`crate::dynlb`]. Runtime tools (the `detcheck` golden diff,
+//! stress tests) only witness the schedules the OS happens to produce.
+//! This module instead *enumerates every schedule* of a small abstracted
+//! model of that protocol — in the tradition of loom and CDSChecker —
+//! and asserts at each reachable state:
+//!
+//! * **conservation** — no transmission is lost or duplicated across a
+//!   GVT flush (every positive id is in exactly one place);
+//! * **single ownership** — every LP belongs to exactly one cluster (or
+//!   one in-transit handoff buffer) at every migration step;
+//! * **GVT monotonicity** — the agreed GVT never regresses, nothing
+//!   below it is ever rolled back, cancelled, or still in flight;
+//! * **deadlock freedom** — some step is enabled until all clusters
+//!   exit, and termination leaves no residue.
+//!
+//! Two historical bug shapes can be re-injected ([`Bug`]) to prove the
+//! checker actually detects them; `crates/timewarp/tests/modelcheck.rs`
+//! pins both counterexamples, and `pls-detlint mc` runs the clean
+//! configurations as a CI gate.
+
+mod explore;
+mod model;
+
+pub use explore::{explore, CheckReport, Counterexample};
+pub use model::{
+    Bug, ClusterState, LpState, ModelConfig, Msg, Phase, PlannedMove, SentRec, State, Step, INF,
+};
+
+/// Named standard configurations for the CI gate and the CLI.
+///
+/// `full` adds a third, initially-empty cluster (which must still take
+/// part in every barrier) and a longer event chain.
+pub fn standard_configs(full: bool) -> Vec<(&'static str, ModelConfig)> {
+    let mut v = vec![("2 clusters x 2 LPs, GVT + migration", ModelConfig::small_2x2())];
+    if full {
+        v.push(("3 clusters x 2 LPs, GVT + migration", ModelConfig::small_3x2()));
+        let mut deep = ModelConfig::small_2x2();
+        deep.hops = 3;
+        deep.plan.clear();
+        v.push(("2 clusters x 2 LPs, hops=3, GVT only", deep));
+    } else {
+        v.push(("3 clusters x 2 LPs, GVT + migration", ModelConfig::small_3x2()));
+    }
+    v
+}

@@ -124,6 +124,16 @@ impl Hasher for IdHasher {
 /// filter.
 pub type IdHashBuilder = BuildHasherDefault<IdHasher>;
 
+/// The sanctioned hash map for kernel code: seed-free, so iteration can
+/// never diverge between runs (detlint D001 / clippy `disallowed-types`
+/// enforce that every kernel map is either ordered or built on this).
+#[allow(clippy::disallowed_types)]
+pub type IdHashMap<K, V> = std::collections::HashMap<K, V, IdHashBuilder>;
+
+/// The sanctioned hash set for kernel code — see [`IdHashMap`].
+#[allow(clippy::disallowed_types)]
+pub type IdHashSet<T> = std::collections::HashSet<T, IdHashBuilder>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,10 +7,16 @@ use std::collections::BinaryHeap;
 
 use crate::app::{Application, EventSink};
 use crate::event::{EventId, LpId};
+use crate::pool::IdHashMap;
 use crate::probe::Probe;
 use crate::sim::{Outcome, RunReport};
 use crate::stats::{KernelStats, LpCounters};
 use crate::time::VTime;
+
+/// Payload side-table for the global queue, keyed by insertion uid.
+/// Fixed-seed hasher: lookups only, iteration order is never observed,
+/// and this is the benchmarked hot path of the baseline executive.
+type Payloads<M> = IdHashMap<u64, (LpId, VTime, LpId, M)>;
 
 /// The executive proper, generic over the telemetry probe. Every batch is
 /// committed the moment it executes (a sequential run cannot roll back),
@@ -26,13 +32,12 @@ pub(crate) fn sequential_core<A: Application, P: Probe>(app: &A, probe: &mut P) 
     // in-batch order are deterministic.
     type Key = (VTime, LpId, EventId);
     let mut heap: BinaryHeap<Reverse<(Key, u64)>> = BinaryHeap::new();
-    let mut payloads: std::collections::HashMap<u64, (LpId, VTime, LpId, _)> =
-        std::collections::HashMap::new();
+    let mut payloads: Payloads<A::Msg> = Payloads::default();
     let mut uid = 0u64;
     let mut seqs: Vec<u64> = vec![0; n];
 
     let push = |heap: &mut BinaryHeap<Reverse<(Key, u64)>>,
-                payloads: &mut std::collections::HashMap<u64, (LpId, VTime, LpId, A::Msg)>,
+                payloads: &mut Payloads<A::Msg>,
                 uid: &mut u64,
                 seqs: &mut [u64],
                 src: LpId,

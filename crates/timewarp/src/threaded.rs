@@ -36,6 +36,7 @@ use crate::dynlb::{
 };
 use crate::event::{Event, LpId, Transmission};
 use crate::lp::LpRuntime;
+use crate::pool::IdHashMap;
 use crate::probe::Probe;
 use crate::sim::{Outcome, RunReport};
 use crate::stats::{KernelStats, LpCounters};
@@ -49,6 +50,12 @@ type ClusterOutcome<A, P> =
 /// A batch of transmissions — the unit that travels on inter-cluster
 /// channels.
 type TxBatch<M> = Vec<Transmission<M>>;
+
+/// A cluster's LP table. Keyed by the kernel's fixed-seed hasher, not
+/// `RandomState`: iteration order never reaches an observable (walks go
+/// through the sorted `local_ids`), but keeping the hasher seed-free
+/// means a stray iteration can never reintroduce run-to-run divergence.
+type LpTable<A> = IdHashMap<LpId, LpRuntime<A>>;
 
 /// One migrating LP in a handoff buffer: its id, its runtime, and the
 /// cumulative counter snapshot the destination's window tracker resumes
@@ -147,6 +154,7 @@ pub(crate) fn threaded_core<A: Application, P: Probe>(
         per_cluster_lps[assignment[i] as usize].push((i as LpId, lp));
     }
 
+    // detlint: allow(D002, host wall-clock feeds only RunReport/probe telemetry host-time columns and never virtual time)
     let started = std::time::Instant::now();
     let mut joined: Vec<ClusterOutcome<A, P>> = Vec::new();
 
@@ -205,7 +213,7 @@ fn route<A: Application, P: Probe>(
     cid: usize,
     outbox: &mut Vec<Transmission<A::Msg>>,
     out_bufs: &mut [TxBatch<A::Msg>],
-    table: &mut std::collections::HashMap<LpId, LpRuntime<A>>,
+    table: &mut LpTable<A>,
     senders: &[Sender<TxBatch<A::Msg>>],
     assignment: &[u32],
     app: &A,
@@ -270,7 +278,7 @@ fn cluster_main<A: Application, P: Probe>(
     let mut assignment: Vec<u32> = assignment.to_vec();
     let mut tracker = lb.map(|_| WindowTracker::new(assignment.len()));
 
-    let mut table: std::collections::HashMap<LpId, LpRuntime<A>> = lps.into_iter().collect();
+    let mut table: LpTable<A> = lps.into_iter().collect();
     let mut local_ids: Vec<LpId> = {
         let mut v: Vec<LpId> = table.keys().copied().collect();
         v.sort_unstable();
@@ -500,7 +508,7 @@ fn gvt_round<A: Application, P: Probe>(
     senders: &[Sender<TxBatch<A::Msg>>],
     assignment: &[u32],
     app: &A,
-    table: &mut std::collections::HashMap<LpId, LpRuntime<A>>,
+    table: &mut LpTable<A>,
     outbox: &mut Vec<Transmission<A::Msg>>,
     out_bufs: &mut [TxBatch<A::Msg>],
     shared: &GvtShared,

@@ -20,7 +20,23 @@ fi
 run cargo build --workspace --benches --tests --examples
 run cargo test -q --workspace
 run cargo fmt --all -- --check
-run cargo clippy --workspace --all-targets -- -D warnings
+# disallowed-types (clippy.toml) is enforced per kernel crate below; the
+# workspace-wide run allows it so the bench/CLI crates can keep HashMap.
+run cargo clippy --workspace --all-targets -- -D warnings -A clippy::disallowed-types
+for p in pls-timewarp pls-partition pls-logic pls-netlist pls-gatesim; do
+  run cargo clippy -q -p "$p" --lib -- -D warnings -D clippy::disallowed-types
+done
+
+# Determinism static analysis: the workspace must be violation-free
+# (every waiver carries a written reason) — see docs/LINTS.md.
+run cargo run -q -p pls-detlint -- --workspace
+
+# Protocol model check: exhaustively explore every interleaving of the
+# GVT + migration model at the small bound, then prove the checker still
+# detects both re-injected historical bug shapes.
+run cargo run --release -q -p pls-detlint -- mc --bound small
+run cargo run --release -q -p pls-detlint -- mc --self-test
+
 if [[ "$FAST" -eq 0 ]]; then
   # Perf smoke: tiny kernel benchmark suite. Catches a hot path that stops
   # compiling or an order-of-magnitude regression; real numbers live in
