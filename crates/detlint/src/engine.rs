@@ -1,18 +1,33 @@
 //! The analysis driver: file walking, waiver parsing, rule dispatch and
-//! report assembly (text and JSON).
+//! report assembly (text and JSON; SARIF lives in [`crate::sarif`]).
 //!
-//! Scope: the determinism rules apply to the five kernel crates
-//! (`timewarp`, `partition`, `logic`, `netlist`, `gatesim`) — the code
-//! whose behavior reaches committed simulation output. `crates/bench`,
-//! the CLI, shims, `tests/`, `benches/`, `examples/` and `#[cfg(test)]`
-//! items are out of scope by construction.
+//! Scope is two-tiered. The five kernel crates' `src/` trees
+//! (`timewarp`, `partition`, `logic`, `netlist`, `gatesim`) get the full
+//! catalog D001–D008 — that code's behavior reaches committed simulation
+//! output. Everything else that *feeds* the kernel — the remaining
+//! crates, `tests/`, `examples/`, the workspace CLI — gets the
+//! flow-aware rules D006–D008 only: an overflowing event schedule in a
+//! stress test or an impure probe in an example corrupts the histories
+//! we assert on just as surely as kernel code would, but RandomState
+//! maps or host clocks there are harmless. `fixtures/`, `benches/`,
+//! `shims/` and `target/` are out of scope by construction.
+//!
+//! Analysis runs in three passes: (1) per-file lexical rules over the
+//! token stream, (2) a workspace-wide structural pass — parse every
+//! in-scope file, build one call graph, run the reachability rules —
+//! and (3) per-file waiver application over the merged findings, so a
+//! structural violation landing in any file is waivable by that file's
+//! inline `// detlint: allow(...)` comments like any lexical one.
 
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::{Graph, Unit};
 use crate::lexer::{lex, Lexed};
+use crate::parser::parse;
 use crate::rules::{self, RuleId, Violation};
+use crate::structural;
 
-/// Crates whose `src/` trees are scanned.
+/// Crates whose `src/` trees get the full rule catalog.
 pub const KERNEL_CRATES: [&str; 5] = ["timewarp", "partition", "logic", "netlist", "gatesim"];
 
 /// An inline waiver: `// detlint: allow(D001, <reason>)`.
@@ -29,15 +44,15 @@ pub struct Waiver {
     pub reason: String,
 }
 
-/// A malformed waiver comment — always fatal, a silent waiver typo must
-/// not silently un-waive (or un-check) anything.
+/// A file-pinned diagnostic that is not a rule violation: a malformed
+/// waiver, an unused waiver, or a structural-parse failure.
 #[derive(Debug, Clone)]
-pub struct WaiverError {
+pub struct FileIssue {
     /// File-relative location.
     pub file: String,
-    /// Line of the bad comment.
+    /// Line of the problem.
     pub line: u32,
-    /// What is wrong with it.
+    /// What is wrong.
     pub message: String,
 }
 
@@ -66,15 +81,18 @@ pub struct Report {
     /// Waived violations, kept for the record (JSON report, audits).
     pub waived: Vec<Finding>,
     /// Malformed waivers — nonzero fails the build.
-    pub waiver_errors: Vec<WaiverError>,
+    pub waiver_errors: Vec<FileIssue>,
     /// Waivers that matched nothing (informational).
-    pub unused_waivers: Vec<WaiverError>,
+    pub unused_waivers: Vec<FileIssue>,
+    /// Item-parse failures from the structural pass — nonzero means the
+    /// call graph is incomplete and the run exits 2, not 0.
+    pub parse_errors: Vec<FileIssue>,
 }
 
 impl Report {
     /// Whether the tree passes the lint gate.
     pub fn clean(&self) -> bool {
-        self.violations.is_empty() && self.waiver_errors.is_empty()
+        self.violations.is_empty() && self.waiver_errors.is_empty() && self.parse_errors.is_empty()
     }
 }
 
@@ -82,21 +100,31 @@ impl Report {
 /// the file is out of scope entirely.
 pub fn rules_for(rel: &str) -> Option<Vec<RuleId>> {
     let rel = rel.replace('\\', "/");
-    let in_kernel = KERNEL_CRATES.iter().any(|c| rel.starts_with(&format!("crates/{c}/src/")));
-    if !in_kernel {
+    if rel.contains("/fixtures/") || rel.starts_with("shims/") || rel.starts_with("target/") {
         return None;
     }
-    let mut rules: Vec<RuleId> = RuleId::ALL.to_vec();
-    if rel == "crates/timewarp/src/threaded.rs" {
-        // The audited concurrency surface: D004 is *about* keeping
-        // threads confined to this file.
-        rules.retain(|r| *r != RuleId::D004);
+    let in_kernel = KERNEL_CRATES.iter().any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    if in_kernel {
+        let mut rules: Vec<RuleId> = RuleId::ALL.to_vec();
+        if rel == "crates/timewarp/src/threaded.rs" {
+            // The audited concurrency surface: D004 is *about* keeping
+            // threads confined to this file.
+            rules.retain(|r| *r != RuleId::D004);
+        }
+        return Some(rules);
     }
-    Some(rules)
+    if rel.starts_with("crates/")
+        || rel.starts_with("src/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+    {
+        return Some(vec![RuleId::D006, RuleId::D007, RuleId::D008]);
+    }
+    None
 }
 
 /// Parse every waiver in a lexed file. Returns `(waivers, errors)`.
-pub fn parse_waivers(file: &str, lx: &Lexed) -> (Vec<Waiver>, Vec<WaiverError>) {
+pub fn parse_waivers(file: &str, lx: &Lexed) -> (Vec<Waiver>, Vec<FileIssue>) {
     let mut waivers = Vec::new();
     let mut errors = Vec::new();
     // Lines bearing at least one token, for standalone-comment coverage.
@@ -106,10 +134,14 @@ pub fn parse_waivers(file: &str, lx: &Lexed) -> (Vec<Waiver>, Vec<WaiverError>) 
         v
     };
     for c in &lx.comments {
-        let Some(pos) = c.text.find("detlint:") else { continue };
-        let body = c.text[pos + "detlint:".len()..].trim();
+        // Anchored at the start of the comment: `// detlint: allow(...)`.
+        // A mid-sentence mention (rule docs quoting the syntax, doc
+        // comments whose text begins with `!` or `/`) is prose, not a
+        // waiver.
+        let Some(body) = c.text.trim_start().strip_prefix("detlint:") else { continue };
+        let body = body.trim();
         let mut err = |message: String| {
-            errors.push(WaiverError { file: file.to_string(), line: c.line, message });
+            errors.push(FileIssue { file: file.to_string(), line: c.line, message });
         };
         let Some(args) = body.strip_prefix("allow") else {
             err(format!("expected `allow(...)` after `detlint:`, found `{body}`"));
@@ -124,7 +156,7 @@ pub fn parse_waivers(file: &str, lx: &Lexed) -> (Vec<Waiver>, Vec<WaiverError>) 
         // non-rule item (re-joined) is the reason text.
         let mut rules_list = Vec::new();
         let mut reason = String::new();
-        for (i, part) in inner.split(',').enumerate() {
+        for part in inner.split(',') {
             let part_trim = part.trim();
             if reason.is_empty() && RuleId::parse(part_trim).is_some() {
                 rules_list.push(RuleId::parse(part_trim).unwrap());
@@ -134,7 +166,6 @@ pub fn parse_waivers(file: &str, lx: &Lexed) -> (Vec<Waiver>, Vec<WaiverError>) 
                 reason.push(',');
                 reason.push_str(part);
             }
-            let _ = i;
         }
         if rules_list.is_empty() {
             err("waiver names no rule (expected e.g. `allow(D001, reason)`)".into());
@@ -166,26 +197,26 @@ pub fn parse_waivers(file: &str, lx: &Lexed) -> (Vec<Waiver>, Vec<WaiverError>) 
     (waivers, errors)
 }
 
-/// Analyze one file's source under the given rules, applying waivers.
-/// Appends findings/errors to `report`.
-pub fn analyze_source(file: &str, src: &str, active: &[RuleId], report: &mut Report) {
-    let lx = lex(src);
-    let skip = rules::test_skip_mask(&lx);
-    let (waivers, mut werrs) = parse_waivers(file, &lx);
-    report.waiver_errors.append(&mut werrs);
-
-    let mut raw: Vec<Violation> = Vec::new();
+/// Run the lexical rules among `active` over one token stream.
+fn lexical_pass(lx: &Lexed, active: &[RuleId], raw: &mut Vec<Violation>) {
+    let skip = rules::test_skip_mask(lx);
     for rule in active {
         match rule {
-            RuleId::D001 => rules::check_d001(&lx, &skip, &mut raw),
-            RuleId::D002 => rules::check_d002(&lx, &skip, &mut raw),
-            RuleId::D003 => rules::check_d003(&lx, &skip, &mut raw),
-            RuleId::D004 => rules::check_d004(&lx, &skip, &mut raw),
-            RuleId::D005 => rules::check_d005(&lx, &skip, &mut raw),
+            RuleId::D001 => rules::check_d001(lx, &skip, raw),
+            RuleId::D002 => rules::check_d002(lx, &skip, raw),
+            RuleId::D003 => rules::check_d003(lx, &skip, raw),
+            RuleId::D004 => rules::check_d004(lx, &skip, raw),
+            RuleId::D005 => rules::check_d005(lx, &skip, raw),
+            RuleId::D007 => rules::check_d007(lx, &skip, raw),
+            RuleId::D006 | RuleId::D008 => {} // structural pass
         }
     }
-    raw.sort_by_key(|v| (v.line, v.rule));
+}
 
+/// Match `raw` violations against `waivers`, filing each as waived or
+/// violating, and report waivers that matched nothing.
+fn apply_waivers(file: &str, waivers: &[Waiver], mut raw: Vec<Violation>, report: &mut Report) {
+    raw.sort_by_key(|v| (v.line, v.rule));
     let mut used = vec![false; waivers.len()];
     for v in raw {
         let w = waivers.iter().position(|w| w.covers == v.line && w.rules.contains(&v.rule));
@@ -206,7 +237,7 @@ pub fn analyze_source(file: &str, src: &str, active: &[RuleId], report: &mut Rep
     }
     for (i, w) in waivers.iter().enumerate() {
         if !used[i] {
-            report.unused_waivers.push(WaiverError {
+            report.unused_waivers.push(FileIssue {
                 file: file.to_string(),
                 line: w.line,
                 message: format!(
@@ -219,9 +250,87 @@ pub fn analyze_source(file: &str, src: &str, active: &[RuleId], report: &mut Rep
     }
 }
 
+/// Analyze a set of `(workspace-relative path, source)` pairs as one
+/// unit: per-file lexical rules, one structural pass over the combined
+/// call graph, then per-file waiver application.
+pub fn analyze_sources(inputs: &[(String, String)]) -> Report {
+    let mut report = Report::default();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut active: Vec<Vec<RuleId>> = Vec::new();
+    let mut waivers: Vec<Vec<Waiver>> = Vec::new();
+    let mut raws: Vec<Vec<Violation>> = Vec::new();
+
+    for (rel, src) in inputs {
+        let Some(rules) = rules_for(rel) else { continue };
+        report.files += 1;
+        let lx = lex(src);
+        let (w, mut werrs) = parse_waivers(rel, &lx);
+        report.waiver_errors.append(&mut werrs);
+        let mut raw = Vec::new();
+        lexical_pass(&lx, &rules, &mut raw);
+        let parsed = parse(&lx);
+        for e in &parsed.errors {
+            report.parse_errors.push(FileIssue {
+                file: rel.clone(),
+                line: e.line,
+                message: format!("structural parse failed: {}", e.message),
+            });
+        }
+        units.push(Unit { file: rel.clone(), lx, parsed });
+        active.push(rules);
+        waivers.push(w);
+        raws.push(raw);
+    }
+
+    let graph = Graph::build(&units);
+    for fv in structural::check_structural(&graph, |u, r| active[u].contains(&r)) {
+        raws[fv.unit].push(fv.violation);
+    }
+
+    for (i, unit) in units.iter().enumerate() {
+        apply_waivers(&unit.file, &waivers[i], std::mem::take(&mut raws[i]), &mut report);
+    }
+
+    report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.waived.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.parse_errors.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Analyze one file's source under the given rules, applying waivers.
+/// Appends findings/errors to `report`. Structural rules see only this
+/// file's call graph — the fixture-test entry point; workspace runs go
+/// through [`analyze_sources`] for cross-file reachability.
+pub fn analyze_source(file: &str, src: &str, active: &[RuleId], report: &mut Report) {
+    let lx = lex(src);
+    let (waivers, mut werrs) = parse_waivers(file, &lx);
+    report.waiver_errors.append(&mut werrs);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    lexical_pass(&lx, active, &mut raw);
+
+    if active.contains(&RuleId::D006) || active.contains(&RuleId::D008) {
+        let parsed = parse(&lx);
+        for e in &parsed.errors {
+            report.parse_errors.push(FileIssue {
+                file: file.to_string(),
+                line: e.line,
+                message: format!("structural parse failed: {}", e.message),
+            });
+        }
+        let units = [Unit { file: file.to_string(), lx, parsed }];
+        let graph = Graph::build(&units);
+        for fv in structural::check_structural(&graph, |_, r| active.contains(&r)) {
+            raw.push(fv.violation);
+        }
+    }
+
+    apply_waivers(file, &waivers, raw, report);
+}
+
 /// Recursively collect `.rs` files under `dir`, sorted for deterministic
-/// reports; `tests`, `benches`, `examples` and `fixtures` directories
-/// are skipped.
+/// reports; `benches`, `fixtures`, `shims` and `target` directories are
+/// skipped (deliberate-violation fixtures and out-of-scope trees).
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> =
         std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
@@ -229,7 +338,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for p in entries {
         if p.is_dir() {
             let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if matches!(name, "tests" | "benches" | "examples" | "fixtures" | "target") {
+            if matches!(name, "benches" | "fixtures" | "shims" | "target") {
                 continue;
             }
             collect_rs(&p, out)?;
@@ -240,27 +349,25 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Analyze the whole workspace rooted at `root`.
+/// Analyze the whole workspace rooted at `root`: every `.rs` under
+/// `crates/`, `src/`, `tests/` and `examples/` (scope per [`rules_for`]).
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
-    for krate in KERNEL_CRATES {
-        let src_dir = root.join("crates").join(krate).join("src");
-        if !src_dir.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        collect_rs(&src_dir, &mut files)?;
-        for f in files {
-            let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
-            let Some(active) = rules_for(&rel) else { continue };
-            let src = std::fs::read_to_string(&f)?;
-            report.files += 1;
-            analyze_source(&rel, &src, &active, &mut report);
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
         }
     }
-    report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    report.waived.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    let mut inputs = Vec::new();
+    for f in files {
+        let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
+        if rules_for(&rel).is_none() {
+            continue;
+        }
+        inputs.push((rel, std::fs::read_to_string(&f)?));
+    }
+    Ok(analyze_sources(&inputs))
 }
 
 fn json_escape(s: &str) -> String {
@@ -298,7 +405,7 @@ fn finding_json(f: &Finding) -> String {
 /// Render the machine-readable report.
 pub fn to_json(r: &Report) -> String {
     let arr = |v: &[Finding]| v.iter().map(finding_json).collect::<Vec<_>>().join(",");
-    let errs = |v: &[WaiverError]| {
+    let errs = |v: &[FileIssue]| {
         v.iter()
             .map(|e| {
                 format!(
@@ -312,13 +419,14 @@ pub fn to_json(r: &Report) -> String {
             .join(",")
     };
     format!(
-        "{{\"files_scanned\":{},\"clean\":{},\"violations\":[{}],\"waived\":[{}],\"waiver_errors\":[{}],\"unused_waivers\":[{}]}}",
+        "{{\"files_scanned\":{},\"clean\":{},\"violations\":[{}],\"waived\":[{}],\"waiver_errors\":[{}],\"unused_waivers\":[{}],\"parse_errors\":[{}]}}",
         r.files,
         r.clean(),
         arr(&r.violations),
         arr(&r.waived),
         errs(&r.waiver_errors),
-        errs(&r.unused_waivers)
+        errs(&r.unused_waivers),
+        errs(&r.parse_errors)
     )
 }
 
@@ -339,15 +447,19 @@ pub fn to_text(r: &Report) -> String {
     for e in &r.waiver_errors {
         out.push_str(&format!("{}:{}: bad waiver — {}\n", e.file, e.line, e.message));
     }
+    for e in &r.parse_errors {
+        out.push_str(&format!("{}:{}: error: {}\n", e.file, e.line, e.message));
+    }
     for e in &r.unused_waivers {
         out.push_str(&format!("{}:{}: note: {}\n", e.file, e.line, e.message));
     }
     out.push_str(&format!(
-        "detlint: {} file(s) scanned, {} violation(s), {} waived, {} bad waiver(s)\n",
+        "detlint: {} file(s) scanned, {} violation(s), {} waived, {} bad waiver(s), {} parse error(s)\n",
         r.files,
         r.violations.len(),
         r.waived.len(),
-        r.waiver_errors.len()
+        r.waiver_errors.len(),
+        r.parse_errors.len()
     ));
     out
 }

@@ -6,10 +6,19 @@
 //! dynamic checker — can only catch hazards on paths a test happens to
 //! execute. This crate rejects nondeterminism *at the source level*:
 //!
-//! * a [rule engine](crate::engine) (rules [`RuleId::D001`]–
-//!   [`RuleId::D005`]) over a hand-rolled [lexer](crate::lexer), with
-//!   inline `// detlint: allow(D00x, reason)` waivers and a `--json`
-//!   machine report;
+//! * a [rule engine](crate::engine) over a hand-rolled
+//!   [lexer](crate::lexer): lexical rules [`RuleId::D001`]–
+//!   [`RuleId::D005`] and [`RuleId::D007`], with inline
+//!   `// detlint: allow(D00x, reason)` waivers and `--json` / `--sarif`
+//!   machine reports;
+//! * a structural layer — a recursive-descent [item
+//!   parser](crate::parser), an intra-workspace [call
+//!   graph](crate::callgraph), and [reachability
+//!   rules](crate::structural) [`RuleId::D006`] (rollback soundness)
+//!   and [`RuleId::D008`] (probe purity) seeded at every
+//!   `Application`/`Probe` impl;
+//! * a [self-test](crate::selftest) (`--self-test`) that re-injects
+//!   seeded bug shapes and fails unless the rules catch them;
 //! * a front-end (`pls-detlint mc`) for the exhaustive interleaving
 //!   model checker in [`pls_timewarp::modelcheck`], which proves the
 //!   threaded executive's flush-and-barrier GVT and 4-phase migration
@@ -20,9 +29,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod selftest;
+pub mod structural;
 
-pub use engine::{analyze_source, analyze_workspace, rules_for, to_json, to_text, Finding, Report};
+pub use engine::{
+    analyze_source, analyze_sources, analyze_workspace, rules_for, to_json, to_text, FileIssue,
+    Finding, Report,
+};
 pub use rules::RuleId;
+pub use sarif::to_sarif;
+pub use selftest::run_self_test;

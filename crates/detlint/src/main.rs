@@ -1,22 +1,26 @@
 //! `pls-detlint` command-line front-end.
 //!
 //! ```text
-//! pls-detlint --workspace [--root PATH] [--json]   # static determinism lint
-//! pls-detlint mc [--bound small|full] [--json]     # exhaustive protocol model check
+//! pls-detlint --workspace [--root PATH] [--json|--sarif]  # static determinism lint
+//! pls-detlint --self-test                                 # seeded-bug lint self-test
+//! pls-detlint mc [--bound small|full] [--json]            # exhaustive protocol model check
 //! ```
 //!
-//! Exit status 0 means clean; 1 means violations (or a model-checking
-//! counterexample); 2 means usage or I/O error.
+//! Exit status contract (relied on by `scripts/check.sh` and CI): 0
+//! means clean; 1 means rule violations (or a model-checking
+//! counterexample, or a failed self-test); 2 means the tool itself
+//! could not do its job — bad usage, I/O failure, or a structural
+//! parse error that leaves the call graph incomplete.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pls_detlint::{analyze_workspace, to_json, to_text};
+use pls_detlint::{analyze_workspace, run_self_test, to_json, to_sarif, to_text};
 use pls_timewarp::modelcheck::{explore, standard_configs, Bug, ModelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pls-detlint --workspace [--root PATH] [--json]\n       pls-detlint mc [--bound small|full] [--json]"
+        "usage: pls-detlint --workspace [--root PATH] [--json|--sarif]\n       pls-detlint --self-test\n       pls-detlint mc [--bound small|full] [--json]"
     );
     ExitCode::from(2)
 }
@@ -32,12 +36,19 @@ fn main() -> ExitCode {
 fn run_lint(args: &[String]) -> ExitCode {
     let mut workspace = false;
     let mut json = false;
+    let mut sarif = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--self-test" => {
+                let (ok, transcript) = run_self_test();
+                print!("{transcript}");
+                return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage(),
@@ -45,7 +56,7 @@ fn run_lint(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    if !workspace {
+    if !workspace || (json && sarif) {
         return usage();
     }
     let root = root.unwrap_or_else(|| {
@@ -62,10 +73,16 @@ fn run_lint(args: &[String]) -> ExitCode {
     };
     if json {
         println!("{}", to_json(&report));
+    } else if sarif {
+        println!("{}", to_sarif(&report));
     } else {
         print!("{}", to_text(&report));
     }
-    if report.clean() {
+    if !report.parse_errors.is_empty() {
+        // The call graph is incomplete: whatever the rule results say,
+        // the analysis itself failed.
+        ExitCode::from(2)
+    } else if report.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -85,7 +102,7 @@ fn run_mc(args: &[String]) -> ExitCode {
             "--json" => json = true,
             "--self-test" => {
                 // Prove the checker detects both injected bug shapes.
-                return run_self_test();
+                return run_mc_self_test();
             }
             _ => return usage(),
         }
@@ -128,7 +145,7 @@ fn run_mc(args: &[String]) -> ExitCode {
     }
 }
 
-fn run_self_test() -> ExitCode {
+fn run_mc_self_test() -> ExitCode {
     let shapes: [(&str, Bug); 2] = [
         ("dropped flush transmission", Bug::DropFlushTransmission),
         ("double-owner migration window", Bug::DoubleOwnerMigration),

@@ -1,12 +1,14 @@
-//! The determinism rule catalog (D001–D005).
+//! The determinism rule catalog (D001–D008).
 //!
-//! Every rule is a token-pattern matcher over [`crate::lexer`] output.
-//! Rules are deliberately conservative in *scope* (kernel crates only,
-//! test modules skipped) and conservative in *pattern* (they flag the
-//! constructions that can leak nondeterminism into committed simulation
-//! output, not every use of a type). False positives are expected to be
-//! rare and are handled by inline waivers with written reasons — see
-//! `docs/LINTS.md`.
+//! D001–D005 and D007 are token-pattern matchers over [`crate::lexer`]
+//! output; D006 and D008 are flow-aware reachability passes over the
+//! [parser](crate::parser) / [call graph](crate::callgraph) and live in
+//! [`crate::structural`]. Rules are deliberately conservative in
+//! *scope* (see `rules_for` in the engine) and conservative in
+//! *pattern* (they flag the constructions that can leak nondeterminism
+//! into committed simulation output, not every use of a type). False
+//! positives are expected to be rare and are handled by inline waivers
+//! with written reasons — see `docs/LINTS.md`.
 
 use crate::lexer::{Lexed, Tok};
 
@@ -25,12 +27,34 @@ pub enum RuleId {
     D004,
     /// `unsafe` without a waiver.
     D005,
+    /// Rollback soundness: I/O, writable statics, interior mutability or
+    /// `&self` mutation reachable from an `Application` event handler.
+    D006,
+    /// Raw `u64` `+`/`*` on virtual-time values instead of `VTime`
+    /// methods or checked arithmetic.
+    D007,
+    /// Probe purity: a `Probe` impl reaching kernel-mutating API or
+    /// shared writable state.
+    D008,
 }
 
 impl RuleId {
     /// All rules, in catalog order.
-    pub const ALL: [RuleId; 5] =
-        [RuleId::D001, RuleId::D002, RuleId::D003, RuleId::D004, RuleId::D005];
+    pub const ALL: [RuleId; 8] = [
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::D004,
+        RuleId::D005,
+        RuleId::D006,
+        RuleId::D007,
+        RuleId::D008,
+    ];
+
+    /// The purely lexical rules (dispatched per file over the token
+    /// stream; D006/D008 run in the workspace-wide structural pass).
+    pub const LEXICAL: [RuleId; 6] =
+        [RuleId::D001, RuleId::D002, RuleId::D003, RuleId::D004, RuleId::D005, RuleId::D007];
 
     /// Parse `"D001"` → `RuleId::D001`.
     pub fn parse(s: &str) -> Option<RuleId> {
@@ -40,6 +64,9 @@ impl RuleId {
             "D003" => Some(RuleId::D003),
             "D004" => Some(RuleId::D004),
             "D005" => Some(RuleId::D005),
+            "D006" => Some(RuleId::D006),
+            "D007" => Some(RuleId::D007),
+            "D008" => Some(RuleId::D008),
             _ => None,
         }
     }
@@ -52,6 +79,9 @@ impl RuleId {
             RuleId::D003 => "D003",
             RuleId::D004 => "D004",
             RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+            RuleId::D007 => "D007",
+            RuleId::D008 => "D008",
         }
     }
 
@@ -63,6 +93,9 @@ impl RuleId {
             RuleId::D003 => "float arithmetic on virtual time",
             RuleId::D004 => "concurrency primitive outside the audited threaded executive",
             RuleId::D005 => "unwaived unsafe block",
+            RuleId::D006 => "irreversible effect reachable from a rollback-able event handler",
+            RuleId::D007 => "raw u64 arithmetic on virtual time",
+            RuleId::D008 => "probe reaches kernel-mutating state or API",
         }
     }
 
@@ -74,6 +107,9 @@ impl RuleId {
             RuleId::D003 => "keep SimTime/VTime arithmetic in u64; convert to float only for derived reporting metrics, never back",
             RuleId::D004 => "threads, channels and locks live in timewarp/src/threaded.rs; everything else must stay single-threaded deterministic",
             RuleId::D005 => "add `// detlint: allow(D005, <why this unsafe is sound and deterministic>)` or rewrite safely",
+            RuleId::D006 => "confine handler effects to the checkpointed State or EventSink; defer irreversible output past GVT and waive that site with the reason",
+            RuleId::D007 => "use VTime::after / checked_add / checked_mul / saturating_mul; silent u64 wraparound reorders every event behind it",
+            RuleId::D008 => "probes observe: accumulate in the probe's own state and export after the run; never call into EventSink/LpRuntime",
         }
     }
 }
@@ -127,6 +163,13 @@ fn ident_at(lx: &Lexed, i: usize) -> Option<&str> {
 fn punct_at(lx: &Lexed, i: usize) -> Option<&str> {
     match lx.toks.get(i)?.tok {
         Tok::Punct(p) => Some(p),
+        _ => None,
+    }
+}
+
+fn num_at(lx: &Lexed, i: usize) -> Option<&str> {
+    match &lx.toks.get(i)?.tok {
+        Tok::Num(s) => Some(s),
         _ => None,
     }
 }
@@ -331,6 +374,105 @@ pub fn check_d004(lx: &Lexed, skip: &[bool], out: &mut Vec<Violation>) {
                 rule: RuleId::D004,
                 line,
                 message: format!("concurrency primitive `{id}`"),
+            });
+        }
+    }
+}
+
+/// Markers for D007: identifiers that make a `.0` projection or a
+/// `VTime(..)` argument count as virtual time. A superset of the D003
+/// markers — `now`/`horizon` name the common local bindings a handler
+/// receives its clock through.
+const D007_MARKERS: [&str; 11] = [
+    "VTime",
+    "SimTime",
+    "gvt",
+    "lvt",
+    "recv_time",
+    "send_time",
+    "vtime",
+    "virtual_time",
+    "local_min",
+    "now",
+    "horizon",
+];
+
+/// D007: raw `u64` `+`/`*` on virtual time. Two shapes:
+///
+/// (a) a `.0` tuple projection adjacent to `+` or `*` in a statement
+///     that also mentions a virtual-time marker (the co-occurrence gate
+///     keeps tuple-struct counters like a probe's `self.0 += 1` quiet);
+/// (b) an arithmetic expression inside a `VTime(...)` constructor —
+///     exempt when every operand is a numeric literal, since constant
+///     folding cannot overflow at runtime any differently than the
+///     folded value itself.
+///
+/// The test-skip mask is deliberately ignored: wraparound in a test's
+/// event schedule silently reorders the very history the test asserts
+/// on, so tests get no exemption.
+#[allow(clippy::needless_range_loop)]
+pub fn check_d007(lx: &Lexed, _skip: &[bool], out: &mut Vec<Violation>) {
+    // Shape (a): statement-scan like D003.
+    let mut start = 0usize;
+    for i in 0..=lx.toks.len() {
+        let boundary = i == lx.toks.len()
+            || matches!(lx.toks[i].tok, Tok::Punct(";") | Tok::Punct("{") | Tok::Punct("}"));
+        if !boundary {
+            continue;
+        }
+        let seg = start..i;
+        start = i + 1;
+        let has_marker = seg.clone().any(
+            |j| matches!(&lx.toks[j].tok, Tok::Ident(id) if D007_MARKERS.contains(&id.as_str())),
+        );
+        if !has_marker {
+            continue;
+        }
+        for j in seg {
+            // `<owner> . 0` with `+`/`*` on either side.
+            if punct_at(lx, j) != Some(".") || num_at(lx, j + 1) != Some("0") {
+                continue;
+            }
+            let after = punct_at(lx, j + 2);
+            let before = j.checked_sub(2).and_then(|k| punct_at(lx, k));
+            if matches!(after, Some("+" | "*")) || matches!(before, Some("+" | "*")) {
+                out.push(Violation {
+                    rule: RuleId::D007,
+                    line: lx.toks[j].line,
+                    message: "raw u64 `+`/`*` on a virtual-time `.0` projection".into(),
+                });
+            }
+        }
+    }
+    // Shape (b): arithmetic inside `VTime(...)`.
+    for i in 0..lx.toks.len() {
+        if ident_at(lx, i) != Some("VTime") || punct_at(lx, i + 1) != Some("(") {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut top_op = false;
+        let mut non_literal = false;
+        let mut j = i + 1;
+        while j < lx.toks.len() {
+            match &lx.toks[j].tok {
+                Tok::Punct("(") => depth += 1,
+                Tok::Punct(")") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct("+") | Tok::Punct("*") if depth == 1 => top_op = true,
+                Tok::Ident(_) => non_literal = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if top_op && non_literal {
+            out.push(Violation {
+                rule: RuleId::D007,
+                line: lx.toks[i].line,
+                message: "unchecked `+`/`*` inside a VTime(..) constructor".into(),
             });
         }
     }

@@ -1,0 +1,119 @@
+//! SARIF 2.1.0 rendering of a [`Report`], so CI can annotate PR diffs.
+//!
+//! One run, driver `pls-detlint`, the full rule catalog as rule
+//! metadata. Unwaived violations become `error`-level results; waived
+//! ones are emitted with a `suppressions` entry (kind `inSource`) so
+//! viewers show them struck through rather than hiding the audit trail.
+//! Waiver and parse problems are emitted as plain `error` results
+//! against the file with `ruleId` `"waiver"` / `"parse"` (full tool
+//! notifications are overkill at this size).
+
+use crate::engine::{FileIssue, Finding, Report};
+use crate::rules::RuleId;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn rule_json(r: RuleId) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"help\":{{\"text\":\"{}\"}}}}",
+        r.name(),
+        esc(r.summary()),
+        esc(r.hint())
+    )
+}
+
+fn result_json(f: &Finding) -> String {
+    let mut s = format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+         \"region\":{{\"startLine\":{}}}}}}}]",
+        f.rule.name(),
+        esc(&f.message),
+        esc(&f.file),
+        f.line
+    );
+    if let Some(reason) = &f.waived {
+        s.push_str(&format!(
+            ",\"suppressions\":[{{\"kind\":\"inSource\",\"justification\":\"{}\"}}]",
+            esc(reason)
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn issue_json(rule: &str, e: &FileIssue) -> String {
+    format!(
+        "{{\"ruleId\":\"{rule}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+         \"region\":{{\"startLine\":{}}}}}}}]}}",
+        esc(&e.message),
+        esc(&e.file),
+        e.line.max(1)
+    )
+}
+
+/// Render the report as a SARIF 2.1.0 log.
+pub fn to_sarif(r: &Report) -> String {
+    let rules = RuleId::ALL.iter().map(|&r| rule_json(r)).collect::<Vec<_>>().join(",");
+    let mut results: Vec<String> = Vec::new();
+    results.extend(r.violations.iter().map(result_json));
+    results.extend(r.waived.iter().map(result_json));
+    results.extend(r.waiver_errors.iter().map(|e| issue_json("waiver", e)));
+    results.extend(r.parse_errors.iter().map(|e| issue_json("parse", e)));
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"pls-detlint\",\
+         \"informationUri\":\"https://example.invalid/pls-timewarp/docs/LINTS.md\",\
+         \"rules\":[{rules}]}}}},\"results\":[{}]}}]}}",
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Report;
+
+    #[test]
+    fn sarif_log_has_schema_rules_and_suppressed_result() {
+        let mut r = Report::default();
+        r.violations.push(Finding {
+            file: "crates/timewarp/src/lp.rs".into(),
+            line: 7,
+            rule: RuleId::D006,
+            message: "io \"quoted\"".into(),
+            waived: None,
+        });
+        r.waived.push(Finding {
+            file: "a.rs".into(),
+            line: 1,
+            rule: RuleId::D007,
+            message: "m".into(),
+            waived: Some("GVT-deferred".into()),
+        });
+        let s = to_sarif(&r);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"pls-detlint\""));
+        for id in ["D001", "D006", "D008"] {
+            assert!(s.contains(&format!("\"id\":\"{id}\"")), "missing rule {id}");
+        }
+        assert!(s.contains("io \\\"quoted\\\""), "message must be escaped");
+        assert!(s.contains("\"suppressions\""), "waived finding must be suppressed");
+        assert!(s.contains("\"startLine\":7"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Lint self-test: re-inject known bug shapes and fail unless the
+//! rules catch them.
+//!
+//! A linter that silently stops firing is worse than no linter — the
+//! tree keeps passing while the property it guarded erodes. So the
+//! gate runs `pls-detlint --self-test` first: synthetic sources
+//! carrying one seeded instance of each flow-aware hazard (the
+//! rollback-soundness `static mut` counter shape from the issue, a raw
+//! virtual-time add, a probe that schedules) are pushed through the
+//! *real* pipeline — lexer, parser, call graph, reachability — and the
+//! self-test fails unless each seeded bug is caught and a clean control
+//! stays clean.
+
+use crate::engine::analyze_sources;
+use crate::rules::RuleId;
+
+struct Case {
+    name: &'static str,
+    /// Synthetic workspace files (path chooses the rule scope).
+    files: &'static [(&'static str, &'static str)],
+    /// Rules that MUST fire, with a message fragment that must appear.
+    expect: &'static [(RuleId, &'static str)],
+    /// When true, the case must instead produce zero violations.
+    expect_clean: bool,
+}
+
+/// The seeded rollback-soundness bug: a handler that counts events in a
+/// `static mut` through a helper — exactly the irreversibility D006
+/// exists to catch (a rollback re-executes the event; the counter
+/// double-counts and no anti-message can undo it).
+const SEEDED_D006: &str = "\
+static mut HANDLED: u64 = 0;\n\
+pub struct App;\n\
+impl Application for App {\n\
+    fn init_events(&self, sink: &mut EventSink) { sink.schedule(); }\n\
+    fn execute(&self, now: VTime, sink: &mut EventSink) { tally(); }\n\
+}\n\
+fn tally() { unsafe { HANDLED += 1; } }\n\
+impl EventSink { pub fn schedule(&mut self) {} }\n";
+
+const SEEDED_D007: &str = "\
+pub fn next(now: VTime, step: u64) -> VTime {\n\
+    VTime(now.0 + step)\n\
+}\n";
+
+const SEEDED_D008: &str = "\
+impl EventSink { pub fn schedule(&mut self) {} }\n\
+pub struct Steer { sink: EventSink }\n\
+impl Probe for Steer {\n\
+    fn batch_executed(&mut self, n: usize) { self.sink.schedule(); }\n\
+}\n";
+
+const CLEAN_CONTROL: &str = "\
+pub struct App;\n\
+impl Application for App {\n\
+    fn init_events(&self, sink: &mut EventSink) { sink.schedule(); }\n\
+    fn execute(&self, state: &mut u64, sink: &mut EventSink) {\n\
+        *state += 1;\n\
+        sink.schedule();\n\
+    }\n\
+}\n\
+impl EventSink { pub fn schedule(&mut self) {} }\n\
+pub struct Count { n: u64 }\n\
+impl Probe for Count {\n\
+    fn batch_executed(&mut self, n: usize) { self.n += n as u64; }\n\
+}\n";
+
+const CASES: &[Case] = &[
+    Case {
+        name: "seeded rollback-soundness bug (static mut counter in handler)",
+        files: &[("crates/timewarp/src/selftest_d006.rs", SEEDED_D006)],
+        expect: &[(RuleId::D006, "HANDLED")],
+        expect_clean: false,
+    },
+    Case {
+        name: "seeded raw virtual-time arithmetic",
+        files: &[("crates/timewarp/src/selftest_d007.rs", SEEDED_D007)],
+        expect: &[(RuleId::D007, "VTime")],
+        expect_clean: false,
+    },
+    Case {
+        name: "seeded impure probe (schedules through EventSink)",
+        files: &[("crates/timewarp/src/selftest_d008.rs", SEEDED_D008)],
+        expect: &[(RuleId::D008, "schedule")],
+        expect_clean: false,
+    },
+    Case {
+        name: "clean control (State mutation + EventSink only)",
+        files: &[("crates/timewarp/src/selftest_clean.rs", CLEAN_CONTROL)],
+        expect: &[],
+        expect_clean: true,
+    },
+];
+
+/// Run every self-test case through the real pipeline. Returns
+/// `(all_passed, transcript)`.
+pub fn run_self_test() -> (bool, String) {
+    let mut ok = true;
+    let mut out = String::new();
+    for case in CASES {
+        let inputs: Vec<(String, String)> =
+            case.files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+        let report = analyze_sources(&inputs);
+        let mut failures: Vec<String> = Vec::new();
+        if !report.parse_errors.is_empty() {
+            failures.push(format!("parse errors: {:?}", report.parse_errors));
+        }
+        for (rule, frag) in case.expect {
+            let hit = report.violations.iter().any(|v| v.rule == *rule && v.message.contains(frag));
+            if !hit {
+                failures.push(format!(
+                    "{} did not fire (wanted message containing `{frag}`); got {:?}",
+                    rule.name(),
+                    report.violations
+                ));
+            }
+        }
+        if case.expect_clean && !report.violations.is_empty() {
+            failures.push(format!("expected clean, got {:?}", report.violations));
+        }
+        if failures.is_empty() {
+            out.push_str(&format!("self-test: PASS — {}\n", case.name));
+        } else {
+            ok = false;
+            for f in &failures {
+                out.push_str(&format!("self-test: FAIL — {}: {f}\n", case.name));
+            }
+        }
+    }
+    out.push_str(if ok { "self-test: all cases passed\n" } else { "self-test: FAILED\n" });
+    (ok, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        let (ok, transcript) = run_self_test();
+        assert!(ok, "{transcript}");
+    }
+}

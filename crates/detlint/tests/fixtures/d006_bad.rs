@@ -1,0 +1,45 @@
+//! D006 positive fixture: irreversible effects reachable from handlers.
+//! Every shape here survives a rollback that re-executes the event —
+//! exactly what the rule exists to reject.
+
+use std::cell::RefCell;
+
+static mut EXECUTED: u64 = 0;
+
+pub struct App {
+    cache: RefCell<u64>,
+    shadow: u64,
+}
+
+impl Application for App {
+    fn init_events(&self, sink: &mut EventSink) {
+        sink.schedule();
+    }
+    fn execute(&self, now: VTime, sink: &mut EventSink) {
+        log_line();
+        bump();
+        *self.cache.borrow_mut() += 1;
+        self.sneak();
+        sink.schedule();
+    }
+}
+
+impl App {
+    fn sneak(&self) {
+        self.shadow = 1;
+    }
+}
+
+fn log_line() {
+    println!("executed an event");
+}
+
+fn bump() {
+    unsafe {
+        EXECUTED += 1;
+    }
+}
+
+impl EventSink {
+    pub fn schedule(&mut self) {}
+}

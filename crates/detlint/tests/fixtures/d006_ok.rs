@@ -1,0 +1,33 @@
+//! D006 negative fixture: every handler effect flows through the
+//! checkpointed `State` or the kernel-owned `EventSink`, plus one
+//! GVT-deferred output site carrying the sanctioned waiver.
+
+pub struct App;
+
+pub struct State {
+    pub count: u64,
+}
+
+impl Application for App {
+    fn init_events(&self, sink: &mut EventSink) {
+        sink.schedule();
+    }
+    fn execute(&self, state: &mut State, sink: &mut EventSink) {
+        state.count = advance(state.count);
+        sink.schedule();
+        commit_log();
+    }
+}
+
+fn advance(n: u64) -> u64 {
+    n.wrapping_add(1)
+}
+
+fn commit_log() {
+    // detlint: allow(D006, committed-output demo; emitted only for events at or below GVT, which can no longer roll back)
+    println!("committed");
+}
+
+impl EventSink {
+    pub fn schedule(&mut self) {}
+}

@@ -1,0 +1,13 @@
+//! D007 positive fixture: raw u64 arithmetic on virtual time.
+
+pub fn raw_add(now: VTime, delay: u64) -> VTime {
+    VTime(now.0 + delay)
+}
+
+pub fn raw_mul(gvt: VTime, step: u64) -> u64 {
+    gvt.0 * step
+}
+
+pub fn raw_ctor(tick: u64) -> VTime {
+    VTime(3 * tick)
+}

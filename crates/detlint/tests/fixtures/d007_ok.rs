@@ -1,0 +1,24 @@
+//! D007 negative fixture: saturating/checked virtual-time arithmetic,
+//! the all-literal constructor exemption, and a tuple-struct counter
+//! whose `.0 +=` must stay quiet (no virtual-time marker near it).
+
+pub fn sanctioned(now: VTime, delay: u64) -> VTime {
+    now.after(delay)
+}
+
+pub fn checked(now: VTime, k: u64) -> VTime {
+    match now.0.checked_mul(k) {
+        Some(t) => VTime(t),
+        None => VTime::INF,
+    }
+}
+
+pub const STEP: VTime = VTime(1 + 9 * 3);
+
+pub struct Hits(u64);
+
+impl Hits {
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+}

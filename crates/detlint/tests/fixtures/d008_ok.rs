@@ -1,0 +1,31 @@
+//! D008 negative fixture: probes that accumulate in their own state and
+//! fan out to child probes — the Tee/Counter shapes the kernel ships.
+
+pub struct Counter {
+    pub n: u64,
+}
+
+impl Probe for Counter {
+    fn batch_executed(&mut self, n: usize) {
+        self.n += n as u64;
+        self.note();
+    }
+}
+
+impl Counter {
+    fn note(&mut self) {
+        self.n = self.n.wrapping_add(1);
+    }
+}
+
+pub struct Pair {
+    a: Counter,
+    b: Counter,
+}
+
+impl Probe for Pair {
+    fn batch_executed(&mut self, n: usize) {
+        self.a.batch_executed(n);
+        self.b.batch_executed(n);
+    }
+}

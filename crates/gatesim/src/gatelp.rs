@@ -160,7 +160,13 @@ impl GateSim {
             return VTime(self.clock_offset);
         }
         let i = (now.0 - self.clock_offset) / self.clock_period + 1;
-        VTime(self.clock_offset + i * self.clock_period)
+        // Near the end of u64 range the next edge does not exist; INF
+        // (never scheduled) beats a wrapped edge in the past, which
+        // would silently reorder every event behind it.
+        match i.checked_mul(self.clock_period).and_then(|t| t.checked_add(self.clock_offset)) {
+            Some(t) => VTime(t),
+            None => VTime::INF,
+        }
     }
 
     fn broadcast(

@@ -7,6 +7,15 @@
 //! `(lp, state, now, msgs)` — all randomness must be drawn from state —
 //! because Time Warp re-executes events after rollbacks and the re-run
 //! must reproduce the original sends exactly.
+//!
+//! This contract is *statically enforced* by `pls-detlint` rule **D006**
+//! (rollback soundness): no I/O, writable statics, interior mutability
+//! or `&self` field mutation may be reachable from any
+//! [`Application::execute`] / [`Application::init_events`] impl — every
+//! effect must land in the checkpointed `State` or flow through the
+//! [`EventSink`]. Output that is genuinely deferred past GVT (and so
+//! can no longer roll back) is waived inline with
+//! `// detlint: allow(D006, reason)`. See `docs/LINTS.md`.
 
 use crate::event::LpId;
 use crate::time::VTime;
@@ -53,7 +62,8 @@ impl<M> EventSink<M> {
         self.now
     }
 
-    /// Schedule `msg` for `dst` at `now + delay`. `delay` must be positive:
+    /// Schedule `msg` for `dst` at `now.after(delay)` — saturating at
+    /// [`VTime::INF`], never wrapping (D007). `delay` must be positive:
     /// zero-delay events would admit same-time cycles, which discrete event
     /// kernels built on timestamp order cannot execute.
     pub fn schedule(&mut self, dst: LpId, delay: u64, msg: M) {
@@ -82,7 +92,10 @@ impl<M> EventSink<M> {
 /// A discrete event simulation model over a fixed population of LPs.
 ///
 /// Implementations are shared by every cluster/thread (`Sync`), so all
-/// mutable simulation state must live in `State`.
+/// mutable simulation state must live in `State`. Handlers are
+/// rollback-able: detlint's D006 reachability pass rejects any
+/// irreversible effect reachable from `execute`/`init_events` (see the
+/// module docs).
 pub trait Application: Send + Sync + 'static {
     /// Event payload. `PartialEq` is required by lazy cancellation (a
     /// regenerated event annihilates a pending cancellation only if it is

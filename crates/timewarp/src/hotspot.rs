@@ -61,7 +61,7 @@ impl Default for RotatingHotspot {
 impl RotatingHotspot {
     /// The simulation horizon (`phase_len * phases`).
     pub fn horizon(&self) -> u64 {
-        self.phase_len * self.phases
+        self.phase_len.saturating_mul(self.phases)
     }
 
     /// Whether `lp` is inside the hot window at virtual time `now`.
@@ -110,7 +110,7 @@ impl Application for RotatingHotspot {
 
     fn init_events(&self, lp: LpId, state: &mut HotspotState, sink: &mut EventSink<u32>) {
         let jitter = xorshift(&mut state.rng) % 3;
-        sink.schedule_at(lp, VTime(1 + jitter), 0);
+        sink.schedule_at(lp, VTime(1).after(jitter), 0);
     }
 
     fn execute(

@@ -960,7 +960,7 @@ mod tests {
                 id: EventId { src: 0, seq: t },
                 dst: 1,
                 send_time: VTime(1),
-                recv_time: VTime(t * 2),
+                recv_time: VTime(t.saturating_mul(2)),
                 msg: 1,
             };
             lps[1].receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox, &mut NoProbe);
@@ -1007,7 +1007,7 @@ mod tests {
                 id: EventId { src: 0, seq: t },
                 dst: 1,
                 send_time: VTime(1),
-                recv_time: VTime(t * 10),
+                recv_time: VTime(t.saturating_mul(10)),
                 msg: t,
             };
             lp1.receive(&app, Transmission::Positive(ev), &mut stats, &mut outbox, &mut NoProbe);

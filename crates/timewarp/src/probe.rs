@@ -6,7 +6,9 @@
 //! message crossing a cluster/node boundary, queue-depth samples. A probe
 //! observes; it must never influence the simulation (the test suite
 //! enforces that committed trace hashes are identical with and without a
-//! recording probe).
+//! recording probe, and `pls-detlint` rule **D008** statically rejects
+//! any probe impl that reaches kernel-mutating API or shared writable
+//! state — even on paths no test executes).
 //!
 //! The default probe is [`NoProbe`], a zero-sized type whose callbacks are
 //! empty: executives are generic over `P: Probe`, so with `NoProbe` every

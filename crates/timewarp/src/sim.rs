@@ -344,7 +344,7 @@ mod tests {
             0
         }
         fn init_events(&self, lp: LpId, _s: &mut u64, sink: &mut EventSink<u64>) {
-            sink.schedule_at(lp, VTime(1 + (lp as u64 % 3)), self.hops);
+            sink.schedule_at(lp, VTime(1).after(lp as u64 % 3), self.hops);
         }
         fn execute(
             &self,

@@ -194,7 +194,7 @@ fn run_schedule(
         let src = 1 + (mix(rng) % 3) as LpId;
         let seq = seqs[(src - 1) as usize];
         seqs[(src - 1) as usize] += 1;
-        let recv = VTime(1 + mix(rng) % 60);
+        let recv = VTime(1).after(mix(rng) % 60);
         Event {
             id: EventId { src, seq },
             dst: 0,

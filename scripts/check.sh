@@ -27,8 +27,12 @@ for p in pls-timewarp pls-partition pls-logic pls-netlist pls-gatesim; do
   run cargo clippy -q -p "$p" --lib -- -D warnings -D clippy::disallowed-types
 done
 
-# Determinism static analysis: the workspace must be violation-free
-# (every waiver carries a written reason) — see docs/LINTS.md.
+# Determinism static analysis — see docs/LINTS.md. First prove the
+# linter itself still catches the seeded bug shapes (a lint that stops
+# firing passes forever), then require the workspace (kernel crates plus
+# tests/examples/CLI under the flow-aware rules) to be violation-free,
+# every waiver carrying a written reason.
+run cargo run -q -p pls-detlint -- --self-test
 run cargo run -q -p pls-detlint -- --workspace
 
 # Protocol model check: exhaustively explore every interleaving of the
