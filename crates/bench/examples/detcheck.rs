@@ -4,7 +4,7 @@
 //! telemetry). Run this at two commits and diff the output to prove a
 //! kernel change preserved behavior exactly.
 
-use pls_gatesim::{fingerprint, SimConfig};
+use pls_gatesim::{CompileOptions, ExecModel, SimConfig};
 use pls_netlist::IscasSynth;
 use pls_timewarp::{
     Application, Backend, Cancellation, DynLbConfig, KernelConfig, KernelStats, Phold,
@@ -15,7 +15,7 @@ fn stats_line(tag: &str, s: &KernelStats) {
     println!(
         "{tag}: batches={} processed={} rolled_back={} committed={} prim={} sec={} antis={} \
          annih={} app_msgs={} anti_remote={} saved={} coasted={} gvt_rounds={} final_gvt={} hw={} \
-         lb_rounds={} migrations={} migrated_bytes={}",
+         lb_rounds={} migrations={} migrated_bytes={} block_act={} ops={}",
         s.batches_executed,
         s.events_processed,
         s.events_rolled_back,
@@ -34,6 +34,8 @@ fn stats_line(tag: &str, s: &KernelStats) {
         s.lb_rounds,
         s.migrations,
         s.migrated_state_bytes,
+        s.block_activations,
+        s.ops_executed,
     );
 }
 
@@ -138,18 +140,53 @@ fn main() {
 
     let gseq = Simulator::new(&app).run(Backend::Sequential).unwrap();
     stats_line("gates/seq", &gseq.stats);
-    println!("gates/seq fingerprint: {:?}", fingerprint(&gseq.states));
+    let gate_fp = app.fingerprint(&gseq.states);
+    println!("gates/seq fingerprint: {gate_fp:?}");
 
     let gplat = Simulator::new(&app)
         .record(20)
         .run(Backend::Platform { assignment: &gasg, nodes: 4 })
         .unwrap();
     stats_line("gates/plat4", &gplat.stats);
-    println!("gates/plat4 fingerprint: {:?}", fingerprint(&gplat.states));
+    println!("gates/plat4 fingerprint: {:?}", app.fingerprint(&gplat.states));
     println!("gates/plat4 telemetry:\n{}", gplat.telemetry.unwrap().to_jsonl());
 
     let gthr_asg: Vec<u32> = (0..app.num_lps()).map(|i| (i % 2) as u32).collect();
     let gthr =
         Simulator::new(&app).run(Backend::Threaded { assignment: &gthr_asg, clusters: 2 }).unwrap();
-    println!("gates/thr2 fingerprint: {:?}", fingerprint(&gthr.states));
+    println!("gates/thr2 fingerprint: {:?}", app.fingerprint(&gthr.states));
+
+    // --- Compiled gate-block engine on the same circuit: the per-gate
+    // fingerprint must be byte-identical to the gate-per-LP engine on all
+    // three executives.
+    let blocks: Vec<u32> = (0..netlist.len()).map(|i| (i % 4) as u32).collect();
+    let mut ccfg = cfg.clone();
+    ccfg.exec = ExecModel::CompiledBlocks(CompileOptions { blocks: Some(blocks.clone()) });
+    let capp = ccfg.build_app(&netlist);
+
+    let cseq = Simulator::new(&capp).run(Backend::Sequential).unwrap();
+    stats_line("compiled/seq", &cseq.stats);
+    println!(
+        "compiled/seq fingerprint_matches_gate: {}",
+        capp.fingerprint(&cseq.states) == gate_fp
+    );
+
+    let casg = capp.lp_assignment(&blocks);
+    let cplat = Simulator::new(&capp)
+        .record(20)
+        .run(Backend::Platform { assignment: &casg, nodes: 4 })
+        .unwrap();
+    stats_line("compiled/plat4", &cplat.stats);
+    println!(
+        "compiled/plat4 fingerprint_matches_gate: {}",
+        capp.fingerprint(&cplat.states) == gate_fp
+    );
+    println!("compiled/plat4 telemetry:\n{}", cplat.telemetry.unwrap().to_jsonl());
+
+    let cthr =
+        Simulator::new(&capp).run(Backend::Threaded { assignment: &casg, clusters: 4 }).unwrap();
+    println!(
+        "compiled/thr4 fingerprint_matches_gate: {}",
+        capp.fingerprint(&cthr.states) == gate_fp
+    );
 }

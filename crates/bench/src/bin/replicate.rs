@@ -6,7 +6,7 @@
 //! spread per strategy, showing which conclusions are robust to the
 //! workload draw (all of them, it turns out).
 
-use pls_gatesim::{run_cell, run_seq_baseline, SimConfig};
+use pls_gatesim::{run_seq_baseline, Cell, SimConfig};
 use pls_logic::StimulusConfig;
 use pls_netlist::IscasSynth;
 use pls_partition::{all_partitioners, CircuitGraph};
@@ -40,7 +40,7 @@ fn main() {
         for &seed in &SEEDS {
             let mut cfg = SimConfig { end_time: 400, ..Default::default() };
             cfg.stim = StimulusConfig { seed, ..cfg.stim };
-            let m = run_cell(&netlist, &graph, strategy.as_ref(), nodes, 0, &cfg);
+            let m = Cell::new(&netlist, &graph, &cfg).nodes(nodes).run(strategy.as_ref());
             times.push(m.exec_time_s);
             msgs += m.app_messages;
             rbs += m.rollbacks;

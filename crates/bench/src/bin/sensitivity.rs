@@ -6,7 +6,7 @@
 //! heuristic's balance between concurrency and communication an
 //! "equilibrium" for its platform.
 
-use pls_gatesim::{run_cell, run_seq_baseline, SimConfig};
+use pls_gatesim::{run_seq_baseline, Cell, SimConfig};
 use pls_netlist::IscasSynth;
 use pls_partition::{all_partitioners, CircuitGraph};
 use pls_timewarp::CostModel;
@@ -33,7 +33,7 @@ fn main() {
         );
         let mut rows = Vec::new();
         for strategy in all_partitioners() {
-            let m = run_cell(&netlist, &graph, strategy.as_ref(), 8, 0, &cfg);
+            let m = Cell::new(&netlist, &graph, &cfg).nodes(8).run(strategy.as_ref());
             rows.push(m);
         }
         rows.sort_by(|a, b| a.exec_time_s.total_cmp(&b.exec_time_s));

@@ -14,9 +14,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 
-use pls_gatesim::{
-    run_cell, run_cell_recorded, run_seq_baseline, RunMetrics, SeqMetrics, SimConfig,
-};
+use pls_gatesim::{run_seq_baseline, Cell, RunMetrics, SeqMetrics, SimConfig};
 use pls_netlist::{IscasSynth, Netlist};
 use pls_partition::CircuitGraph;
 use pls_timewarp::TimeSeries;
@@ -59,7 +57,7 @@ impl Grid {
     /// fingerprint is stale and must be discarded, not silently reused.
     fn config_fingerprint(cfg: &SimConfig) -> String {
         format!(
-            "v3:{:?}:{:?}:end{}:clk{}:stim{}-{}-{}:dynlb{:?}",
+            "v4:{:?}:{:?}:end{}:clk{}:stim{}-{}-{}:dynlb{:?}:exec{}",
             cfg.platform.cost,
             cfg.platform.kernel,
             cfg.end_time,
@@ -68,6 +66,7 @@ impl Grid {
             cfg.stim.period,
             cfg.stim.toggle_prob,
             cfg.dynlb,
+            cfg.exec,
         )
     }
 
@@ -134,7 +133,7 @@ impl Grid {
             .unwrap_or_else(|| panic!("unknown strategy `{strategy}`"));
         let (netlist, graph) = &self.circuits[ix];
         eprintln!("  running {circuit} / {strategy} / {nodes} nodes …");
-        let m = run_cell(netlist, graph, part.as_ref(), nodes, 0, &self.cfg);
+        let m = Cell::new(netlist, graph, &self.cfg).nodes(nodes).run(part.as_ref());
         self.cells.insert(key, m.clone());
         self.save_cache();
         m
@@ -158,15 +157,12 @@ impl Grid {
         let (netlist, graph) = &self.circuits[ix];
         let partitioning = part.partition(graph, nodes, 0);
         eprintln!("  tracing {circuit} / {strategy} / {nodes} nodes …");
-        run_cell_recorded(
-            netlist,
-            graph,
-            &partitioning,
-            part.name(),
-            nodes,
-            &self.cfg,
-            Some(bucket_width),
-        )
+        let m = Cell::new(netlist, graph, &self.cfg)
+            .nodes(nodes)
+            .record(bucket_width)
+            .run_with(&partitioning, part.name());
+        let series = m.telemetry.clone();
+        (m, series)
     }
 
     /// Directory the cache (and any trace exports) live in.
@@ -201,7 +197,7 @@ impl Grid {
         }
         for line in text.lines().skip(2) {
             let f: Vec<&str> = line.split(',').collect();
-            if f.len() != 12 {
+            if f.len() != 14 {
                 continue;
             }
             let m = RunMetrics {
@@ -217,6 +213,9 @@ impl Grid {
                 edge_cut: f[9].parse().unwrap_or(0),
                 migrations: f[10].parse().unwrap_or(0),
                 out_of_memory: f[11] == "true",
+                block_activations: f[12].parse().unwrap_or(0),
+                ops_executed: f[13].parse().unwrap_or(0),
+                telemetry: None,
             };
             self.cells.insert((m.circuit.clone(), m.strategy.clone(), m.nodes), m);
         }
@@ -225,7 +224,7 @@ impl Grid {
     fn save_cache(&self) {
         let mut text = format!("# {}\n", Self::config_fingerprint(&self.cfg));
         text.push_str(
-            "circuit,strategy,nodes,exec_time_s,app_messages,rollbacks,events_committed,events_processed,remote_antis,edge_cut,migrations,out_of_memory\n",
+            "circuit,strategy,nodes,exec_time_s,app_messages,rollbacks,events_committed,events_processed,remote_antis,edge_cut,migrations,out_of_memory,block_activations,ops_executed\n",
         );
         let mut rows: Vec<&RunMetrics> = self.cells.values().collect();
         rows.sort_by(|a, b| {
@@ -233,7 +232,7 @@ impl Grid {
         });
         for m in rows {
             text.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 m.circuit,
                 m.strategy,
                 m.nodes,
@@ -245,7 +244,9 @@ impl Grid {
                 m.remote_antis,
                 m.edge_cut,
                 m.migrations,
-                m.out_of_memory
+                m.out_of_memory,
+                m.block_activations,
+                m.ops_executed
             ));
         }
         let tmp = self.cache_path.with_extension("csv.tmp");

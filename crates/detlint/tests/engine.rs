@@ -87,6 +87,18 @@ fn d004_is_exempt_in_threaded_rs() {
 }
 
 #[test]
+fn compiled_engine_is_kernel_tier() {
+    // The compiled gate-block engine executes inside LP rollback scope:
+    // every kernel-tier determinism rule must stay active on it, or a
+    // nondeterministic sweep could silently break fingerprint parity
+    // with gate-per-LP mode.
+    let rules = rules_for("crates/gatesim/src/compiled.rs").expect("in scope");
+    for rule in RuleId::ALL {
+        assert!(rules.contains(&rule), "{rule:?} must apply to the compiled engine");
+    }
+}
+
+#[test]
 fn d005_positive_fixture_fires() {
     let r = run_fixture(include_str!("fixtures/d005_bad.rs"));
     assert_eq!(fired_lines(&r, RuleId::D005), vec![3]);

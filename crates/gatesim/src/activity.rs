@@ -28,9 +28,11 @@ impl ActivityProfile {
     /// Profile a circuit by simulating it sequentially for `window` time
     /// units under the given configuration's stimulus.
     pub fn measure(netlist: &Netlist, cfg: &SimConfig, window: u64) -> ActivityProfile {
-        let mut probe_cfg = *cfg;
+        let mut probe_cfg = cfg.clone();
         probe_cfg.end_time = window;
-        let app = probe_cfg.build_app(netlist);
+        // Always profile per-gate: activity is attributed to individual
+        // gate outputs regardless of the configured execution engine.
+        let app = probe_cfg.build_gate_sim(netlist);
         let res =
             Simulator::new(&app).run(Backend::Sequential).expect("sequential runs cannot fail");
         ActivityProfile { transitions: res.states.iter().map(|s| s.transitions).collect(), window }

@@ -1,6 +1,12 @@
 //! The measurement core: run one circuit × partitioner × node-count cell
 //! of the paper's experiment grid and collect the metrics its tables and
 //! figures report.
+//!
+//! The entry point is the [`Cell`] builder (mirroring the `Simulator`
+//! builder of `pls-timewarp`): configure optional telemetry recording and
+//! oracle checking, then `run` with a strategy or `run_with` a
+//! precomputed partitioning. The old `run_cell*` free functions remain as
+//! thin deprecated wrappers for one release.
 
 use pls_logic::{DelayModel, StimulusConfig};
 use pls_netlist::Netlist;
@@ -10,10 +16,13 @@ use pls_timewarp::{
     TimeSeries,
 };
 
+use crate::compiled::CompileOptions;
 use crate::gatelp::{GateSim, GateState};
+use crate::model::{ExecModel, GateModel, GateSimBuilder};
 
-/// Simulation workload configuration (what the testbench does).
-#[derive(Debug, Clone, Copy)]
+/// Simulation workload configuration (what the testbench does and which
+/// engine executes it).
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Virtual-time horizon: no stimulus/clock activity after this.
     pub end_time: u64,
@@ -29,6 +38,9 @@ pub struct SimConfig {
     /// commit with the default greedy policy; `None` keeps the static
     /// placement for the whole run.
     pub dynlb: Option<DynLbConfig>,
+    /// Execution engine. With [`ExecModel::CompiledBlocks`] and no
+    /// explicit block map, [`Cell`] derives one block per partition part.
+    pub exec: ExecModel,
 }
 
 impl Default for SimConfig {
@@ -40,14 +52,33 @@ impl Default for SimConfig {
             delay: DelayModel::PerKind,
             platform: PlatformConfig::default(),
             dynlb: None,
+            exec: ExecModel::GatePerLp,
         }
     }
 }
 
 impl SimConfig {
     /// Build the Time Warp application for a netlist under this config.
-    pub fn build_app(&self, netlist: &Netlist) -> GateSim {
-        GateSim::new(netlist, self.delay, self.stim, self.clock_period, self.end_time)
+    pub fn build_app(&self, netlist: &Netlist) -> GateModel {
+        GateSimBuilder::new(netlist)
+            .delay(self.delay)
+            .stimulus(self.stim)
+            .clock_period(self.clock_period)
+            .end_time(self.end_time)
+            .exec(self.exec.clone())
+            .build()
+    }
+
+    /// Build the bare gate-per-LP engine regardless of [`Self::exec`] —
+    /// for consumers that structurally need one state per gate (waveform
+    /// recording, activity profiling).
+    pub fn build_gate_sim(&self, netlist: &Netlist) -> GateSim {
+        GateSimBuilder::new(netlist)
+            .delay(self.delay)
+            .stimulus(self.stim)
+            .clock_period(self.clock_period)
+            .end_time(self.end_time)
+            .build_per_gate()
     }
 }
 
@@ -71,6 +102,10 @@ pub struct RunMetrics {
     pub events_committed: u64,
     /// Processed events (committed + wasted).
     pub events_processed: u64,
+    /// Compiled mode: block activations (0 in gate-per-LP mode).
+    pub block_activations: u64,
+    /// Compiled mode: fused gate evaluations (0 in gate-per-LP mode).
+    pub ops_executed: u64,
     /// Remote anti-messages.
     pub remote_antis: u64,
     /// Edge cut of the partition used.
@@ -80,6 +115,9 @@ pub struct RunMetrics {
     /// Whether the run died with the per-node memory limit exceeded
     /// (`exec_time_s` is meaningless in that case).
     pub out_of_memory: bool,
+    /// Telemetry series, when recording was requested via [`Cell::record`]
+    /// and the run completed.
+    pub telemetry: Option<TimeSeries>,
 }
 
 /// Result of a sequential baseline run.
@@ -91,11 +129,13 @@ pub struct SeqMetrics {
     pub exec_time_s: f64,
     /// Events processed.
     pub events: u64,
-    /// Per-LP trace hashes (the equivalence fingerprint).
+    /// Per-gate trace hashes (the equivalence fingerprint).
     pub fingerprint: Vec<u64>,
 }
 
-/// Fingerprint of a run: every LP's committed output-transition hash.
+/// Fingerprint of a per-gate run: every LP's committed output-transition
+/// hash. For [`GateModel`] runs use [`GateModel::fingerprint`], which is
+/// execution-mode independent.
 pub fn fingerprint(states: &[GateState]) -> Vec<u64> {
     states.iter().map(|s| s.trace_hash).collect()
 }
@@ -108,12 +148,156 @@ pub fn run_seq_baseline(netlist: &Netlist, cfg: &SimConfig) -> SeqMetrics {
         circuit: netlist.name().to_string(),
         exec_time_s: sequential_modeled_time_s(res.stats.events_processed, &cfg.platform.cost),
         events: res.stats.events_processed,
-        fingerprint: fingerprint(&res.states),
+        fingerprint: app.fingerprint(&res.states),
+    }
+}
+
+/// One cell of the experiment grid, as a builder. `nodes` defaults to 4,
+/// `seed` to 0; telemetry recording and oracle checking are off unless
+/// requested.
+///
+/// ```
+/// use pls_gatesim::{Cell, SimConfig};
+/// use pls_netlist::IscasSynth;
+/// use pls_partition::{CircuitGraph, MultilevelPartitioner};
+///
+/// let netlist = IscasSynth::small(150, 1).build();
+/// let graph = CircuitGraph::from_netlist(&netlist);
+/// let cfg = SimConfig { end_time: 100, ..Default::default() };
+/// let m = Cell::new(&netlist, &graph, &cfg).nodes(4).run(&MultilevelPartitioner::default());
+/// assert!(m.events_committed > 0);
+/// ```
+#[derive(Debug)]
+pub struct Cell<'a> {
+    netlist: &'a Netlist,
+    graph: &'a CircuitGraph,
+    cfg: &'a SimConfig,
+    nodes: usize,
+    seed: u64,
+    bucket: Option<u64>,
+    check: bool,
+}
+
+impl<'a> Cell<'a> {
+    /// A cell over `netlist` partitioned via `graph`, configured by `cfg`.
+    pub fn new(netlist: &'a Netlist, graph: &'a CircuitGraph, cfg: &'a SimConfig) -> Cell<'a> {
+        Cell { netlist, graph, cfg, nodes: 4, seed: 0, bucket: None, check: false }
+    }
+
+    /// Number of simulated workstation nodes (default 4).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Partitioner seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Record a telemetry [`TimeSeries`] with the given virtual-time
+    /// bucket width into [`RunMetrics::telemetry`].
+    pub fn record(mut self, bucket_width: u64) -> Self {
+        self.bucket = Some(bucket_width);
+        self
+    }
+
+    /// Check the committed history against the sequential oracle (same
+    /// app, same engine), panicking on divergence.
+    pub fn checked(mut self) -> Self {
+        self.check = true;
+        self
+    }
+
+    /// Partition with `strategy` and run.
+    pub fn run(self, strategy: &dyn Partitioner) -> RunMetrics {
+        let partitioning = strategy.partition(self.graph, self.nodes, self.seed);
+        self.run_with(&partitioning, strategy.name())
+    }
+
+    /// Run with a precomputed partitioning. In compiled mode without an
+    /// explicit block map, blocks are derived from this partitioning (one
+    /// block per part), so fused cones coincide with node placement.
+    pub fn run_with(self, partitioning: &Partitioning, strategy_name: &str) -> RunMetrics {
+        assert!(partitioning.is_valid_for(self.graph));
+        let app = match &self.cfg.exec {
+            ExecModel::CompiledBlocks(opts) if opts.blocks.is_none() => {
+                let mut cfg = self.cfg.clone();
+                cfg.exec = ExecModel::CompiledBlocks(CompileOptions {
+                    blocks: Some(partitioning.assignment.clone()),
+                });
+                cfg.build_app(self.netlist)
+            }
+            _ => self.cfg.build_app(self.netlist),
+        };
+        let assignment = app.lp_assignment(&partitioning.assignment);
+        let edge_cut = pls_partition::metrics::edge_cut(self.graph, partitioning);
+        let mut sim = Simulator::new(&app).platform_config(&self.cfg.platform);
+        if let Some(w) = self.bucket {
+            sim = sim.record(w);
+        }
+        if let Some(d) = self.cfg.dynlb {
+            sim = sim.load_balancer(d);
+        }
+        match sim.run(Backend::Platform { assignment: &assignment, nodes: self.nodes }) {
+            Ok(res) => {
+                if self.check {
+                    let seq = Simulator::new(&app)
+                        .run(Backend::Sequential)
+                        .expect("sequential runs cannot fail");
+                    assert_eq!(
+                        app.fingerprint(&res.states),
+                        app.fingerprint(&seq.states),
+                        "parallel committed history diverged from sequential \
+                         ({strategy_name}/{} on {} nodes)",
+                        app.exec_name(),
+                        self.nodes
+                    );
+                }
+                RunMetrics {
+                    circuit: self.netlist.name().to_string(),
+                    strategy: strategy_name.to_string(),
+                    nodes: self.nodes,
+                    exec_time_s: res.outcome.exec_time_s().expect("platform outcome"),
+                    app_messages: res.stats.app_messages,
+                    rollbacks: res.stats.rollbacks(),
+                    events_committed: res.stats.events_committed,
+                    events_processed: res.stats.events_processed,
+                    block_activations: res.stats.block_activations,
+                    ops_executed: res.stats.ops_executed,
+                    remote_antis: res.stats.anti_messages_remote,
+                    edge_cut,
+                    migrations: res.stats.migrations,
+                    out_of_memory: false,
+                    telemetry: res.telemetry,
+                }
+            }
+            Err(SimError::OutOfMemory { .. }) => RunMetrics {
+                circuit: self.netlist.name().to_string(),
+                strategy: strategy_name.to_string(),
+                nodes: self.nodes,
+                exec_time_s: f64::NAN,
+                app_messages: 0,
+                rollbacks: 0,
+                events_committed: 0,
+                events_processed: 0,
+                block_activations: 0,
+                ops_executed: 0,
+                remote_antis: 0,
+                edge_cut,
+                migrations: 0,
+                out_of_memory: true,
+                telemetry: None,
+            },
+            Err(e) => panic!("misconfigured cell: {e}"),
+        }
     }
 }
 
 /// Run one parallel cell: partition the circuit with `strategy` and
 /// simulate it on `nodes` virtual workstations.
+#[deprecated(since = "0.6.0", note = "use `Cell::new(..).nodes(n).seed(s).run(strategy)`")]
 pub fn run_cell(
     netlist: &Netlist,
     graph: &CircuitGraph,
@@ -122,11 +306,11 @@ pub fn run_cell(
     seed: u64,
     cfg: &SimConfig,
 ) -> RunMetrics {
-    let partitioning = strategy.partition(graph, nodes, seed);
-    run_cell_with(netlist, graph, &partitioning, strategy.name(), nodes, cfg)
+    Cell::new(netlist, graph, cfg).nodes(nodes).seed(seed).run(strategy)
 }
 
 /// Like [`run_cell`] but with a pre-computed partitioning.
+#[deprecated(since = "0.6.0", note = "use `Cell::new(..).nodes(n).run_with(partitioning, name)`")]
 pub fn run_cell_with(
     netlist: &Netlist,
     graph: &CircuitGraph,
@@ -135,12 +319,15 @@ pub fn run_cell_with(
     nodes: usize,
     cfg: &SimConfig,
 ) -> RunMetrics {
-    run_cell_recorded(netlist, graph, partitioning, strategy_name, nodes, cfg, None).0
+    Cell::new(netlist, graph, cfg).nodes(nodes).run_with(partitioning, strategy_name)
 }
 
 /// Like [`run_cell_with`], optionally recording a telemetry
-/// [`TimeSeries`] with the given virtual-time bucket width. The series is
-/// `None` when recording was off or the run died out of memory.
+/// [`TimeSeries`] with the given virtual-time bucket width.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Cell::new(..).record(w).run_with(..)`; the series is in `RunMetrics::telemetry`"
+)]
 pub fn run_cell_recorded(
     netlist: &Netlist,
     graph: &CircuitGraph,
@@ -150,59 +337,18 @@ pub fn run_cell_recorded(
     cfg: &SimConfig,
     bucket_width: Option<u64>,
 ) -> (RunMetrics, Option<TimeSeries>) {
-    assert!(partitioning.is_valid_for(graph));
-    let app = cfg.build_app(netlist);
-    let edge_cut = pls_partition::metrics::edge_cut(graph, partitioning);
-    let mut sim = Simulator::new(&app).platform_config(&cfg.platform);
+    let mut cell = Cell::new(netlist, graph, cfg).nodes(nodes);
     if let Some(w) = bucket_width {
-        sim = sim.record(w);
+        cell = cell.record(w);
     }
-    if let Some(d) = cfg.dynlb {
-        sim = sim.load_balancer(d);
-    }
-    match sim.run(Backend::Platform { assignment: &partitioning.assignment, nodes }) {
-        Ok(res) => (
-            RunMetrics {
-                circuit: netlist.name().to_string(),
-                strategy: strategy_name.to_string(),
-                nodes,
-                exec_time_s: res.outcome.exec_time_s().expect("platform outcome"),
-                app_messages: res.stats.app_messages,
-                rollbacks: res.stats.rollbacks(),
-                events_committed: res.stats.events_committed,
-                events_processed: res.stats.events_processed,
-                remote_antis: res.stats.anti_messages_remote,
-                edge_cut,
-                migrations: res.stats.migrations,
-                out_of_memory: false,
-            },
-            res.telemetry,
-        ),
-        Err(SimError::OutOfMemory { .. }) => (
-            RunMetrics {
-                circuit: netlist.name().to_string(),
-                strategy: strategy_name.to_string(),
-                nodes,
-                exec_time_s: f64::NAN,
-                app_messages: 0,
-                rollbacks: 0,
-                events_committed: 0,
-                events_processed: 0,
-                remote_antis: 0,
-                edge_cut,
-                migrations: 0,
-                out_of_memory: true,
-            },
-            None,
-        ),
-        Err(e) => panic!("misconfigured cell: {e}"),
-    }
+    let metrics = cell.run_with(partitioning, strategy_name);
+    let telemetry = metrics.telemetry.clone();
+    (metrics, telemetry)
 }
 
 /// Run a parallel cell *and* check its committed history against the
-/// sequential oracle, panicking on divergence. Used by tests; experiment
-/// binaries use [`run_cell`] directly (the equivalence is already
-/// established by the test suite).
+/// sequential oracle, panicking on divergence.
+#[deprecated(since = "0.6.0", note = "use `Cell::new(..).checked().run(strategy)`")]
 pub fn run_cell_checked(
     netlist: &Netlist,
     graph: &CircuitGraph,
@@ -211,21 +357,7 @@ pub fn run_cell_checked(
     seed: u64,
     cfg: &SimConfig,
 ) -> RunMetrics {
-    let partitioning = strategy.partition(graph, nodes, seed);
-    let app = cfg.build_app(netlist);
-    let seq = Simulator::new(&app).run(Backend::Sequential).expect("sequential runs cannot fail");
-    let res = Simulator::new(&app)
-        .platform_config(&cfg.platform)
-        .run(Backend::Platform { assignment: &partitioning.assignment, nodes })
-        .expect("checked runs must not OOM");
-    assert_eq!(
-        fingerprint(&res.states),
-        fingerprint(&seq.states),
-        "parallel committed history diverged from sequential ({} on {} nodes)",
-        strategy.name(),
-        nodes
-    );
-    run_cell_with(netlist, graph, &partitioning, strategy.name(), nodes, cfg)
+    Cell::new(netlist, graph, cfg).nodes(nodes).seed(seed).checked().run(strategy)
 }
 
 #[cfg(test)]
@@ -245,7 +377,8 @@ mod tests {
         let cfg = small_cfg();
         for strategy in all_partitioners() {
             for nodes in [2, 4] {
-                let m = run_cell_checked(&netlist, &graph, strategy.as_ref(), nodes, 0, &cfg);
+                let m =
+                    Cell::new(&netlist, &graph, &cfg).nodes(nodes).checked().run(strategy.as_ref());
                 assert!(m.events_committed > 0, "{} produced no events", m.strategy);
             }
         }
@@ -257,8 +390,38 @@ mod tests {
         let graph = CircuitGraph::from_netlist(&netlist);
         let cfg = SimConfig { end_time: 300, ..Default::default() };
         for nodes in 1..=4 {
-            run_cell_checked(&netlist, &graph, &RandomPartitioner, nodes, 0, &cfg);
+            Cell::new(&netlist, &graph, &cfg).nodes(nodes).checked().run(&RandomPartitioner);
         }
+    }
+
+    #[test]
+    fn compiled_cell_matches_gate_cell_fingerprints() {
+        let netlist = IscasSynth::small(200, 4).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let gate_cfg = small_cfg();
+        let mut compiled_cfg = small_cfg();
+        compiled_cfg.exec = ExecModel::CompiledBlocks(CompileOptions::default());
+        // `checked()` asserts each mode against its own sequential oracle;
+        // the baselines assert the modes against each other.
+        let g =
+            Cell::new(&netlist, &graph, &gate_cfg).checked().run(&MultilevelPartitioner::default());
+        let c = Cell::new(&netlist, &graph, &compiled_cfg)
+            .checked()
+            .run(&MultilevelPartitioner::default());
+        assert_eq!(
+            run_seq_baseline(&netlist, &gate_cfg).fingerprint,
+            run_seq_baseline(&netlist, &compiled_cfg).fingerprint,
+            "compiled fingerprint diverged from gate-per-LP"
+        );
+        assert!(c.block_activations > 0, "compiled run must activate blocks");
+        assert!(c.ops_executed > 0, "compiled run must sweep ops");
+        assert_eq!(g.block_activations, 0, "gate mode declares no block work");
+        assert!(
+            c.events_processed < g.events_processed,
+            "compiled mode must internalize events ({} vs {})",
+            c.events_processed,
+            g.events_processed
+        );
     }
 
     #[test]
@@ -276,8 +439,8 @@ mod tests {
         let netlist = IscasSynth::small(400, 5).build();
         let graph = CircuitGraph::from_netlist(&netlist);
         let cfg = small_cfg();
-        let ml = run_cell(&netlist, &graph, &MultilevelPartitioner::default(), 4, 0, &cfg);
-        let rnd = run_cell(&netlist, &graph, &RandomPartitioner, 4, 0, &cfg);
+        let ml = Cell::new(&netlist, &graph, &cfg).run(&MultilevelPartitioner::default());
+        let rnd = Cell::new(&netlist, &graph, &cfg).run(&RandomPartitioner);
         assert!(
             ml.app_messages < rnd.app_messages,
             "multilevel {} messages vs random {}",
@@ -297,7 +460,7 @@ mod tests {
         // Worst-case static placement: every gate on node 0 of 4. The
         // balancer must spread the load without changing the history.
         let part = Partitioning::new(4, vec![0; graph.len()]);
-        let (m, _) = run_cell_recorded(&netlist, &graph, &part, "AllOnZero", 4, &cfg, None);
+        let m = Cell::new(&netlist, &graph, &cfg).run_with(&part, "AllOnZero");
         assert!(!m.out_of_memory);
         assert!(m.migrations > 0, "fully skewed placement must migrate");
         assert_eq!(m.events_committed, seq.events);
@@ -307,7 +470,7 @@ mod tests {
             .load_balancer(cfg.dynlb.unwrap())
             .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
             .unwrap();
-        assert_eq!(fingerprint(&res.states), seq.fingerprint, "dynlb diverged from oracle");
+        assert_eq!(app.fingerprint(&res.states), seq.fingerprint, "dynlb diverged from oracle");
     }
 
     #[test]
@@ -317,8 +480,19 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.platform.state_limit_per_node = Some(1);
         cfg.platform.kernel.gvt_period = 2;
-        let m = run_cell(&netlist, &graph, &RandomPartitioner, 4, 0, &cfg);
+        let m = Cell::new(&netlist, &graph, &cfg).run(&RandomPartitioner);
         assert!(m.out_of_memory);
         assert!(m.exec_time_s.is_nan());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let netlist = IscasSynth::small(100, 2).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let cfg = small_cfg();
+        let a = run_cell(&netlist, &graph, &RandomPartitioner, 2, 0, &cfg);
+        let b = Cell::new(&netlist, &graph, &cfg).nodes(2).run(&RandomPartitioner);
+        assert_eq!(a, b);
     }
 }

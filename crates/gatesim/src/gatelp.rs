@@ -21,6 +21,12 @@
 //! state. Since state is checkpointed and rolled back by the kernel, the
 //! hash of the *committed* history is identical across executives — the
 //! cross-kernel equivalence oracle used throughout the test suite.
+//!
+//! The compiled block executive ([`crate::compiled`]) replicates the
+//! primary-input and DFF step semantics below element-by-element inside
+//! its fused blocks (same streams, same sampling and emission times,
+//! same trace-hash folds), so committed fingerprints are byte-identical
+//! between the modes — this file is the semantic reference.
 
 use pls_logic::{eval_gate, DelayModel, InputStream, StimulusConfig, Value};
 use pls_netlist::{GateKind, Netlist};
@@ -36,8 +42,40 @@ pub enum GateMsg {
         /// New value.
         value: Value,
     },
-    /// Self-scheduled tick: stimulus step for inputs, clock edge for DFFs.
+    /// Compiled mode only: external driver `port` of a block LP changed.
+    /// One `Port` message updates the port slot for every reading pin
+    /// inside the block, so ports are indexed per block, not per pin.
+    Port {
+        /// Port slot index of the receiving block LP.
+        port: u32,
+        /// New value.
+        value: Value,
+    },
+    /// Compiled mode only: a bundle of same-arrival port updates. When
+    /// one block activation changes several drivers read by the same
+    /// foreign block with the same transport delay, all of them ride in
+    /// one kernel message instead of one event per driver.
+    Ports {
+        /// `(port slot, new value)` pairs, in the sender's emission
+        /// order; ports are distinct (an element publishes at most once
+        /// per activation).
+        updates: Vec<(u32, Value)>,
+    },
+    /// Self-scheduled tick: stimulus step for inputs, clock edge for DFFs,
+    /// pending internal transition for compiled blocks.
     SelfTick,
+}
+
+/// The FNV-1a offset basis every trace hash starts from.
+pub(crate) const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a step folding an output transition `(time, value)` into a
+/// rolling trace hash. Both execution modes hash through this single
+/// definition so committed fingerprints are byte-identical across them.
+pub(crate) fn fnv_step(h: u64, t: VTime, v: Value) -> u64 {
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    let h = (h ^ t.0).wrapping_mul(FNV_PRIME);
+    (h ^ v as u64).wrapping_mul(FNV_PRIME)
 }
 
 /// Per-gate LP state. `Clone` is the checkpoint operation, so it stays
@@ -67,20 +105,169 @@ pub struct GateState {
 }
 
 impl GateState {
+    /// A fresh state for a gate with `fanin_len` input pins; `stim` is the
+    /// stimulus stream for primary-input LPs.
+    pub(crate) fn fresh(fanin_len: usize, stim: Option<InputStream>) -> GateState {
+        GateState {
+            inputs: vec![Value::X; fanin_len],
+            output: Value::X,
+            stim,
+            next_tick: None,
+            trace_hash: FNV_BASIS,
+            transitions: 0,
+            #[cfg(debug_assertions)]
+            history: Vec::new(),
+        }
+    }
+
     fn note_transition(&mut self, now: VTime, v: Value) {
-        const FNV_PRIME: u64 = 0x100_0000_01b3;
-        let mut h = self.trace_hash;
-        h = (h ^ now.0).wrapping_mul(FNV_PRIME);
-        h = (h ^ v as u64).wrapping_mul(FNV_PRIME);
-        self.trace_hash = h;
+        self.trace_hash = fnv_step(self.trace_hash, now, v);
         self.transitions += 1;
         #[cfg(debug_assertions)]
         self.history.push((now.0, v.as_char()));
     }
 }
 
-/// Static per-gate tables + configuration: the [`Application`] driving the
-/// Time Warp kernel.
+/// Self-tick configuration shared by both execution modes' boundary LPs
+/// (primary inputs and DFFs): stimulus cadence, clock edges, horizon.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TickCfg {
+    /// Stimulus period for primary inputs (at least 1).
+    pub stim_period: u64,
+    /// Clock period for DFF self-ticks (at least 1).
+    pub clock_period: u64,
+    /// Clock phase offset (first tick).
+    pub clock_offset: u64,
+    /// No stimulus or clock tick is scheduled past this virtual time; the
+    /// event population then drains and the simulation terminates.
+    pub end_time: VTime,
+}
+
+impl TickCfg {
+    pub(crate) fn new(stim_period: u64, clock_period: u64, end_time: u64) -> TickCfg {
+        TickCfg {
+            stim_period: stim_period.max(1),
+            clock_period: clock_period.max(1),
+            clock_offset: (clock_period / 2).max(1),
+            end_time: VTime(end_time),
+        }
+    }
+
+    /// First clock edge strictly after `now` (edges at
+    /// `clock_offset + i * clock_period`).
+    pub(crate) fn next_clock_edge(&self, now: VTime) -> VTime {
+        if now.0 < self.clock_offset {
+            return VTime(self.clock_offset);
+        }
+        let i = (now.0 - self.clock_offset) / self.clock_period + 1;
+        // Near the end of u64 range the next edge does not exist; INF
+        // (never scheduled) beats a wrapped edge in the past, which
+        // would silently reorder every event behind it.
+        match i.checked_mul(self.clock_period).and_then(|t| t.checked_add(self.clock_offset)) {
+            Some(t) => VTime(t),
+            None => VTime::INF,
+        }
+    }
+}
+
+/// Output-routing hook: deliver a new output value to every reader. The
+/// gate-per-LP mode schedules `Wire` events from a reader table; the
+/// compiled mode mixes `Wire` (to boundary LPs) and `Port` (to blocks).
+pub(crate) type Route<'a> = &'a mut dyn FnMut(Value, &mut EventSink<GateMsg>);
+
+/// Record a new output value: update the state, fold the transition into
+/// the trace hash at its effective (post-delay) time, and route it.
+pub(crate) fn emit_output(
+    state: &mut GateState,
+    now: VTime,
+    delay: u64,
+    v: Value,
+    sink: &mut EventSink<GateMsg>,
+    send_out: Route<'_>,
+) {
+    state.output = v;
+    state.note_transition(now.after(delay), v);
+    send_out(v, sink);
+}
+
+/// One batch of a primary-input LP: advance the stimulus stream per
+/// SelfTick, broadcast changes, and re-arm the next tick inside the
+/// horizon.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_input(
+    tick: &TickCfg,
+    delay: u64,
+    lp: LpId,
+    state: &mut GateState,
+    now: VTime,
+    msgs: &[(LpId, GateMsg)],
+    sink: &mut EventSink<GateMsg>,
+    send_out: Route<'_>,
+) {
+    // Only SelfTicks arrive here (inputs have no fanin).
+    for (_, m) in msgs {
+        debug_assert_eq!(*m, GateMsg::SelfTick);
+        let stream = state.stim.as_mut().expect("input LP has a stream");
+        let next = if state.transitions == 0 && state.output == Value::X {
+            // First tick: drive the initial value.
+            Some(stream.initial())
+        } else {
+            stream.tick()
+        };
+        if let Some(v) = next {
+            emit_output(state, now, delay, v, sink, send_out);
+        }
+        if now.after(tick.stim_period) <= tick.end_time {
+            sink.schedule(lp, tick.stim_period, GateMsg::SelfTick);
+        }
+    }
+}
+
+/// One batch of a DFF LP: sample D on a due clock edge (before applying
+/// any same-time D update — register semantics), then apply D changes and
+/// arm an activity-driven sampling tick at the next edge.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_dff(
+    tick: &TickCfg,
+    delay: u64,
+    lp: LpId,
+    state: &mut GateState,
+    now: VTime,
+    msgs: &[(LpId, GateMsg)],
+    sink: &mut EventSink<GateMsg>,
+    send_out: Route<'_>,
+) {
+    // Register semantics: a clock edge in this batch samples the D value
+    // from *before* any same-time Wire update.
+    let ticked = msgs.iter().any(|(_, m)| *m == GateMsg::SelfTick);
+    if ticked && state.next_tick == Some(now) {
+        state.next_tick = None;
+        let d = state.inputs[0].input_view();
+        if d != state.output {
+            emit_output(state, now, delay, d, sink, send_out);
+        }
+    }
+    for (_, m) in msgs {
+        if let GateMsg::Wire { pin, value } = m {
+            if state.inputs[*pin as usize] != *value {
+                state.inputs[*pin as usize] = *value;
+                // Activity-driven clocking: ensure a sampling tick at the
+                // next clock edge after `now`.
+                let edge = tick.next_clock_edge(now);
+                if edge <= tick.end_time && state.next_tick.is_none_or(|t| t > edge) {
+                    state.next_tick = Some(edge);
+                    sink.schedule_at(lp, edge, GateMsg::SelfTick);
+                }
+            }
+        }
+    }
+}
+
+/// Static per-gate tables + configuration: the gate-per-LP [`Application`]
+/// driving the Time Warp kernel. Construct through
+/// [`crate::GateSimBuilder`] (this type is the
+/// [`crate::ExecModel::GatePerLp`] engine; the waveform recorder also
+/// wraps it directly via [`crate::GateSimBuilder::build_per_gate`]).
 #[derive(Debug)]
 pub struct GateSim {
     kinds: Vec<GateKind>,
@@ -92,18 +279,24 @@ pub struct GateSim {
     stim: StimulusConfig,
     /// Index of each gate in the input list, if it is a primary input.
     input_index: Vec<Option<u32>>,
-    /// Clock period for DFF self-ticks.
-    clock_period: u64,
-    /// Clock phase offset (first tick).
-    clock_offset: u64,
-    /// No stimulus or clock tick is scheduled past this virtual time; the
-    /// event population then drains and the simulation terminates.
-    end_time: VTime,
+    /// Self-tick cadence and horizon.
+    tick: TickCfg,
 }
 
 impl GateSim {
     /// Build the simulation model for a netlist.
+    #[deprecated(since = "0.6.0", note = "use `GateSimBuilder` (see `crate::GateSimBuilder`)")]
     pub fn new(
+        netlist: &Netlist,
+        delay_model: DelayModel,
+        stim: StimulusConfig,
+        clock_period: u64,
+        end_time: u64,
+    ) -> GateSim {
+        GateSim::from_parts(netlist, delay_model, stim, clock_period, end_time)
+    }
+
+    pub(crate) fn from_parts(
         netlist: &Netlist,
         delay_model: DelayModel,
         stim: StimulusConfig,
@@ -121,6 +314,7 @@ impl GateSim {
         for (ix, &g) in netlist.inputs().iter().enumerate() {
             input_index[g as usize] = Some(ix as u32);
         }
+        let tick = TickCfg::new(stim.period, clock_period, end_time);
         GateSim {
             kinds: netlist.gates().iter().map(|g| g.kind).collect(),
             readers,
@@ -132,15 +326,13 @@ impl GateSim {
                 .collect(),
             stim,
             input_index,
-            clock_period: clock_period.max(1),
-            clock_offset: (clock_period / 2).max(1),
-            end_time: VTime(end_time),
+            tick,
         }
     }
 
     /// The configured simulation horizon.
     pub fn end_time(&self) -> VTime {
-        self.end_time
+        self.tick.end_time
     }
 
     /// Kind of the gate behind an LP.
@@ -151,37 +343,6 @@ impl GateSim {
     /// Transport delay of an LP's gate.
     pub fn delay_of(&self, lp: LpId) -> u64 {
         self.delay[lp as usize]
-    }
-
-    /// First clock edge strictly after `now` (edges at
-    /// `clock_offset + i * clock_period`).
-    fn next_clock_edge(&self, now: VTime) -> VTime {
-        if now.0 < self.clock_offset {
-            return VTime(self.clock_offset);
-        }
-        let i = (now.0 - self.clock_offset) / self.clock_period + 1;
-        // Near the end of u64 range the next edge does not exist; INF
-        // (never scheduled) beats a wrapped edge in the past, which
-        // would silently reorder every event behind it.
-        match i.checked_mul(self.clock_period).and_then(|t| t.checked_add(self.clock_offset)) {
-            Some(t) => VTime(t),
-            None => VTime::INF,
-        }
-    }
-
-    fn broadcast(
-        &self,
-        lp: LpId,
-        state: &mut GateState,
-        now: VTime,
-        v: Value,
-        sink: &mut EventSink<GateMsg>,
-    ) {
-        state.output = v;
-        state.note_transition(now.after(self.delay[lp as usize]), v);
-        for &(reader, pin) in &self.readers[lp as usize] {
-            sink.schedule(reader, self.delay[lp as usize], GateMsg::Wire { pin, value: v });
-        }
     }
 }
 
@@ -195,16 +356,7 @@ impl Application for GateSim {
 
     fn init_state(&self, lp: LpId) -> GateState {
         let stim = self.input_index[lp as usize].map(|ix| self.stim.stream(ix));
-        GateState {
-            inputs: vec![Value::X; self.fanin_len[lp as usize] as usize],
-            output: Value::X,
-            stim,
-            next_tick: None,
-            trace_hash: 0xcbf2_9ce4_8422_2325, // FNV offset basis
-            transitions: 0,
-            #[cfg(debug_assertions)]
-            history: Vec::new(),
-        }
+        GateState::fresh(self.fanin_len[lp as usize] as usize, stim)
     }
 
     fn init_events(&self, lp: LpId, _state: &mut GateState, sink: &mut EventSink<GateMsg>) {
@@ -224,53 +376,18 @@ impl Application for GateSim {
         sink: &mut EventSink<GateMsg>,
     ) {
         let kind = self.kinds[lp as usize];
+        let delay = self.delay[lp as usize];
+        let readers = &self.readers[lp as usize];
+        let mut send_out = |v: Value, sink: &mut EventSink<GateMsg>| {
+            for &(reader, pin) in readers {
+                sink.schedule(reader, delay, GateMsg::Wire { pin, value: v });
+            }
+        };
         match kind {
             GateKind::Input => {
-                // Only SelfTicks arrive here (inputs have no fanin).
-                for (_, m) in msgs {
-                    debug_assert_eq!(*m, GateMsg::SelfTick);
-                    let stream = state.stim.as_mut().expect("input LP has a stream");
-                    let next = if state.transitions == 0 && state.output == Value::X {
-                        // First tick: drive the initial value.
-                        Some(stream.initial())
-                    } else {
-                        stream.tick()
-                    };
-                    if let Some(v) = next {
-                        self.broadcast(lp, state, now, v, sink);
-                    }
-                    let next_tick = now.after(self.stim.period.max(1));
-                    if next_tick <= self.end_time {
-                        sink.schedule(lp, self.stim.period.max(1), GateMsg::SelfTick);
-                    }
-                }
+                step_input(&self.tick, delay, lp, state, now, msgs, sink, &mut send_out)
             }
-            GateKind::Dff => {
-                // Register semantics: a clock edge in this batch samples the
-                // D value from *before* any same-time Wire update.
-                let ticked = msgs.iter().any(|(_, m)| *m == GateMsg::SelfTick);
-                if ticked && state.next_tick == Some(now) {
-                    state.next_tick = None;
-                    let d = state.inputs[0].input_view();
-                    if d != state.output {
-                        self.broadcast(lp, state, now, d, sink);
-                    }
-                }
-                for (_, m) in msgs {
-                    if let GateMsg::Wire { pin, value } = m {
-                        if state.inputs[*pin as usize] != *value {
-                            state.inputs[*pin as usize] = *value;
-                            // Activity-driven clocking: ensure a sampling
-                            // tick at the next clock edge after `now`.
-                            let edge = self.next_clock_edge(now);
-                            if edge <= self.end_time && state.next_tick.is_none_or(|t| t > edge) {
-                                state.next_tick = Some(edge);
-                                sink.schedule_at(lp, edge, GateMsg::SelfTick);
-                            }
-                        }
-                    }
-                }
-            }
+            GateKind::Dff => step_dff(&self.tick, delay, lp, state, now, msgs, sink, &mut send_out),
             _ => {
                 // Combinational: apply all updates, then evaluate once.
                 for (_, m) in msgs {
@@ -278,12 +395,15 @@ impl Application for GateSim {
                         GateMsg::Wire { pin, value } => {
                             state.inputs[*pin as usize] = *value;
                         }
+                        GateMsg::Port { .. } | GateMsg::Ports { .. } => {
+                            unreachable!("per-gate LPs never receive Port")
+                        }
                         GateMsg::SelfTick => unreachable!("combinational gates never tick"),
                     }
                 }
                 let v = eval_gate(kind, &state.inputs);
                 if v != state.output {
-                    self.broadcast(lp, state, now, v, sink);
+                    emit_output(state, now, delay, v, sink, &mut send_out);
                 }
             }
         }
@@ -293,6 +413,7 @@ impl Application for GateSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GateSimBuilder;
     use pls_netlist::bench_format::parse;
     use pls_timewarp::{Application, Backend, RunReport, Simulator};
 
@@ -301,13 +422,11 @@ mod tests {
     }
 
     fn sim(netlist: &Netlist, end: u64) -> GateSim {
-        GateSim::new(
-            netlist,
-            DelayModel::PerKind,
-            StimulusConfig { seed: 7, period: 10, toggle_prob: 0.5 },
-            10,
-            end,
-        )
+        GateSimBuilder::new(netlist)
+            .stimulus(StimulusConfig { seed: 7, period: 10, toggle_prob: 0.5 })
+            .clock_period(10)
+            .end_time(end)
+            .build_per_gate()
     }
 
     #[test]
@@ -329,13 +448,11 @@ mod tests {
     fn constant_input_produces_single_transition_per_gate() {
         // toggle_prob 0: the input drives once and holds.
         let n = parse("buf", "INPUT(A)\nOUTPUT(B)\nB = BUFF(A)\n").unwrap();
-        let app = GateSim::new(
-            &n,
-            DelayModel::Unit(1),
-            StimulusConfig { seed: 1, period: 10, toggle_prob: 0.0 },
-            10,
-            200,
-        );
+        let app = GateSimBuilder::new(&n)
+            .delay(DelayModel::Unit(1))
+            .stimulus(StimulusConfig { seed: 1, period: 10, toggle_prob: 0.0 })
+            .end_time(200)
+            .build_per_gate();
         let res = run_sequential(&app);
         let b = &res.states[n.find("B").unwrap() as usize];
         assert_eq!(b.transitions, 1, "B must change exactly once (X → value)");
@@ -364,20 +481,16 @@ mod tests {
     #[test]
     fn trace_hash_distinguishes_histories() {
         let n = parse("buf", "INPUT(A)\nOUTPUT(B)\nB = BUFF(A)\n").unwrap();
-        let app1 = GateSim::new(
-            &n,
-            DelayModel::Unit(1),
-            StimulusConfig { seed: 1, period: 10, toggle_prob: 0.5 },
-            10,
-            200,
-        );
-        let app2 = GateSim::new(
-            &n,
-            DelayModel::Unit(1),
-            StimulusConfig { seed: 2, period: 10, toggle_prob: 0.5 },
-            10,
-            200,
-        );
+        let stim = |seed| StimulusConfig { seed, period: 10, toggle_prob: 0.5 };
+        let build = |seed| {
+            GateSimBuilder::new(&n)
+                .delay(DelayModel::Unit(1))
+                .stimulus(stim(seed))
+                .end_time(200)
+                .build_per_gate()
+        };
+        let app1 = build(1);
+        let app2 = build(2);
         let h1 = run_sequential(&app1).states[1].trace_hash;
         let h2 = run_sequential(&app2).states[1].trace_hash;
         assert_ne!(h1, h2, "different stimulus must give different traces");

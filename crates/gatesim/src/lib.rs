@@ -4,10 +4,22 @@
 //! the quantities the paper's evaluation reports (execution time,
 //! application messages, rollbacks).
 //!
+//! Two execution engines sit behind one [`GateSimBuilder`] API, selected
+//! by [`ExecModel`]:
+//!
+//! * [`ExecModel::GatePerLp`] — one LP per gate (the classic mode and
+//!   determinism oracle);
+//! * [`ExecModel::CompiledBlocks`] — boundary LPs (inputs, DFFs) plus one
+//!   LP per partition block of fused combinational gates, evaluated as a
+//!   flat topologically-ordered instruction buffer ([`compiled`]).
+//!
+//! Committed per-gate fingerprints are byte-identical across engines and
+//! executives.
+//!
 //! # Example
 //!
 //! ```
-//! use pls_gatesim::{SimConfig, run_seq_baseline, run_cell};
+//! use pls_gatesim::{Cell, SimConfig, run_seq_baseline};
 //! use pls_netlist::IscasSynth;
 //! use pls_partition::{CircuitGraph, MultilevelPartitioner};
 //!
@@ -15,7 +27,7 @@
 //! let graph = CircuitGraph::from_netlist(&netlist);
 //! let cfg = SimConfig { end_time: 100, ..Default::default() };
 //! let seq = run_seq_baseline(&netlist, &cfg);
-//! let par = run_cell(&netlist, &graph, &MultilevelPartitioner::default(), 4, 0, &cfg);
+//! let par = Cell::new(&netlist, &graph, &cfg).nodes(4).run(&MultilevelPartitioner::default());
 //! assert!(par.events_committed > 0 && seq.events > 0);
 //! ```
 
@@ -23,14 +35,17 @@
 #![forbid(unsafe_code)]
 
 pub mod activity;
+pub mod compiled;
 pub mod experiment;
 pub mod gatelp;
+pub mod model;
 pub mod vcd;
 
 pub use activity::{activity_weighted_graph, ActivityProfile};
-pub use experiment::{
-    fingerprint, run_cell, run_cell_checked, run_cell_recorded, run_cell_with, run_seq_baseline,
-    RunMetrics, SeqMetrics, SimConfig,
-};
+pub use compiled::{BlockState, CompileOptions, CompiledSim};
+pub use experiment::{fingerprint, run_seq_baseline, Cell, RunMetrics, SeqMetrics, SimConfig};
+#[allow(deprecated)]
+pub use experiment::{run_cell, run_cell_checked, run_cell_recorded, run_cell_with};
 pub use gatelp::{GateMsg, GateSim, GateState};
+pub use model::{ExecModel, GateModel, GateSimBuilder, ModelState, UnknownExecModel};
 pub use vcd::{write_vcd, WaveRecorder, Waveform};

@@ -1,0 +1,315 @@
+//! The redesigned gatesim construction API.
+//!
+//! [`GateSimBuilder`] replaces the old positional `GateSim::new(..)`
+//! constructor: configure the workload, pick an execution engine with
+//! [`ExecModel`], and get back a [`GateModel`] — a single
+//! [`Application`] that drives any kernel executive in either mode.
+//!
+//! ```
+//! use pls_gatesim::{ExecModel, GateSimBuilder};
+//! use pls_netlist::IscasSynth;
+//! use pls_timewarp::{Backend, Simulator};
+//!
+//! let netlist = IscasSynth::small(120, 1).build();
+//! let gate = GateSimBuilder::new(&netlist).end_time(100).build();
+//! let compiled = GateSimBuilder::new(&netlist)
+//!     .end_time(100)
+//!     .exec("compiled".parse::<ExecModel>().unwrap())
+//!     .build();
+//! let a = Simulator::new(&gate).run(Backend::Sequential).unwrap();
+//! let b = Simulator::new(&compiled).run(Backend::Sequential).unwrap();
+//! assert_eq!(gate.fingerprint(&a.states), compiled.fingerprint(&b.states));
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use pls_logic::{DelayModel, StimulusConfig};
+use pls_netlist::Netlist;
+use pls_timewarp::{Application, EventSink, LpId, VTime};
+
+use crate::compiled::{BlockState, CompileOptions, CompiledSim};
+use crate::gatelp::{GateMsg, GateSim, GateState};
+
+/// Which execution engine a [`GateSimBuilder`] produces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ExecModel {
+    /// One Time Warp LP per gate (the classic mode; the oracle).
+    #[default]
+    GatePerLp,
+    /// One LP per block of fused gates — combinational logic, DFFs and
+    /// primary inputs all lowered in-block (see [`crate::compiled`]).
+    CompiledBlocks(CompileOptions),
+}
+
+impl ExecModel {
+    /// Canonical names accepted by [`FromStr`], for error messages/help.
+    pub const NAMES: &'static [&'static str] = &["gate-per-lp", "compiled"];
+
+    /// Canonical name of this model (round-trips through [`FromStr`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecModel::GatePerLp => "gate-per-lp",
+            ExecModel::CompiledBlocks(_) => "compiled",
+        }
+    }
+}
+
+impl fmt::Display for ExecModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing an [`ExecModel`] name: lists the valid names
+/// instead of leaving the caller to guess (the failure mode of stringly
+/// selection APIs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExecModel(String);
+
+impl fmt::Display for UnknownExecModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown exec model `{}` (valid: {})", self.0, ExecModel::NAMES.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownExecModel {}
+
+impl FromStr for ExecModel {
+    type Err = UnknownExecModel;
+
+    fn from_str(s: &str) -> Result<ExecModel, UnknownExecModel> {
+        match s {
+            "gate-per-lp" | "gate" | "per-gate" => Ok(ExecModel::GatePerLp),
+            "compiled" | "compiled-blocks" | "blocks" => {
+                Ok(ExecModel::CompiledBlocks(CompileOptions::default()))
+            }
+            other => Err(UnknownExecModel(other.to_string())),
+        }
+    }
+}
+
+/// Builder for gate-level simulation models. Defaults mirror
+/// [`crate::SimConfig`]: per-kind delays, default stimulus, clock period
+/// 10, horizon 400, [`ExecModel::GatePerLp`].
+#[derive(Debug)]
+pub struct GateSimBuilder<'a> {
+    netlist: &'a Netlist,
+    delay: DelayModel,
+    stim: StimulusConfig,
+    clock_period: u64,
+    end_time: u64,
+    exec: ExecModel,
+}
+
+impl<'a> GateSimBuilder<'a> {
+    /// Start building a model for `netlist`.
+    pub fn new(netlist: &'a Netlist) -> GateSimBuilder<'a> {
+        GateSimBuilder {
+            netlist,
+            delay: DelayModel::PerKind,
+            stim: StimulusConfig::default(),
+            clock_period: 10,
+            end_time: 400,
+            exec: ExecModel::default(),
+        }
+    }
+
+    /// Gate delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Primary-input stimulus.
+    pub fn stimulus(mut self, stim: StimulusConfig) -> Self {
+        self.stim = stim;
+        self
+    }
+
+    /// DFF clock period.
+    pub fn clock_period(mut self, period: u64) -> Self {
+        self.clock_period = period;
+        self
+    }
+
+    /// Virtual-time horizon: no stimulus/clock activity after this.
+    pub fn end_time(mut self, end: u64) -> Self {
+        self.end_time = end;
+        self
+    }
+
+    /// Execution engine (default [`ExecModel::GatePerLp`]).
+    pub fn exec(mut self, exec: ExecModel) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Build the model for the configured [`ExecModel`].
+    pub fn build(self) -> GateModel {
+        match self.exec {
+            ExecModel::GatePerLp => GateModel::PerGate(GateSim::from_parts(
+                self.netlist,
+                self.delay,
+                self.stim,
+                self.clock_period,
+                self.end_time,
+            )),
+            ExecModel::CompiledBlocks(opts) => GateModel::Compiled(CompiledSim::compile(
+                self.netlist,
+                self.delay,
+                self.stim,
+                self.clock_period,
+                self.end_time,
+                opts.blocks.as_deref(),
+            )),
+        }
+    }
+
+    /// Build the bare gate-per-LP engine, ignoring [`Self::exec`]. Needed
+    /// where per-gate LP states are a structural requirement — the
+    /// waveform recorder ([`crate::WaveRecorder`]) and activity profiling
+    /// both read one state per gate.
+    pub fn build_per_gate(self) -> GateSim {
+        GateSim::from_parts(self.netlist, self.delay, self.stim, self.clock_period, self.end_time)
+    }
+}
+
+/// Per-LP state of a [`GateModel`]: a plain gate state or a compiled
+/// block state, depending on the LP and mode.
+#[derive(Debug, Clone)]
+pub enum ModelState {
+    /// A per-gate LP (every LP in gate mode).
+    Gate(GateState),
+    /// A compiled block LP (every LP in compiled mode).
+    Block(BlockState),
+}
+
+impl ModelState {
+    /// The gate state, if this LP is a per-gate LP.
+    pub fn as_gate(&self) -> Option<&GateState> {
+        match self {
+            ModelState::Gate(g) => Some(g),
+            ModelState::Block(_) => None,
+        }
+    }
+
+    /// The block state, if this LP is a compiled block.
+    pub fn as_block(&self) -> Option<&BlockState> {
+        match self {
+            ModelState::Gate(_) => None,
+            ModelState::Block(b) => Some(b),
+        }
+    }
+}
+
+/// A gate-level simulation model in either execution mode — the
+/// [`Application`] produced by [`GateSimBuilder::build`]. Committed
+/// fingerprints are mode-independent: [`GateModel::fingerprint`] returns
+/// per-*gate* hashes in netlist order for both engines.
+#[derive(Debug)]
+pub enum GateModel {
+    /// One LP per gate.
+    PerGate(GateSim),
+    /// Boundary LPs + fused combinational blocks.
+    Compiled(CompiledSim),
+}
+
+impl GateModel {
+    /// Which [`ExecModel`] built this (canonical name).
+    pub fn exec_name(&self) -> &'static str {
+        match self {
+            GateModel::PerGate(_) => "gate-per-lp",
+            GateModel::Compiled(_) => "compiled",
+        }
+    }
+
+    /// Number of netlist gates behind the model (= LPs in gate mode).
+    pub fn num_gates(&self) -> usize {
+        match self {
+            GateModel::PerGate(sim) => sim.num_lps(),
+            GateModel::Compiled(c) => c.num_gates(),
+        }
+    }
+
+    /// The configured simulation horizon.
+    pub fn end_time(&self) -> VTime {
+        match self {
+            GateModel::PerGate(sim) => sim.end_time(),
+            GateModel::Compiled(c) => c.end_time(),
+        }
+    }
+
+    /// Fingerprint of a run: every *gate's* committed output-transition
+    /// hash, in netlist gate-id order — byte-identical across execution
+    /// modes and executives for the same workload.
+    pub fn fingerprint(&self, states: &[ModelState]) -> Vec<u64> {
+        match self {
+            GateModel::PerGate(_) => states
+                .iter()
+                .map(|s| s.as_gate().expect("gate mode has per-gate states").trace_hash)
+                .collect(),
+            GateModel::Compiled(c) => c.fingerprint(states),
+        }
+    }
+
+    /// Project a gate-level partition assignment (one part per netlist
+    /// gate) onto this model's LPs, for `Backend::Platform`/`Threaded`.
+    pub fn lp_assignment(&self, gate_parts: &[u32]) -> Vec<u32> {
+        match self {
+            GateModel::PerGate(_) => gate_parts.to_vec(),
+            GateModel::Compiled(c) => c.lp_assignment(gate_parts),
+        }
+    }
+}
+
+impl Application for GateModel {
+    type Msg = GateMsg;
+    type State = ModelState;
+
+    fn num_lps(&self) -> usize {
+        match self {
+            GateModel::PerGate(sim) => sim.num_lps(),
+            GateModel::Compiled(c) => c.num_lps(),
+        }
+    }
+
+    fn init_state(&self, lp: LpId) -> ModelState {
+        match self {
+            GateModel::PerGate(sim) => ModelState::Gate(sim.init_state(lp)),
+            GateModel::Compiled(c) => c.init_lp_state(lp),
+        }
+    }
+
+    fn init_events(&self, lp: LpId, state: &mut ModelState, sink: &mut EventSink<GateMsg>) {
+        match self {
+            GateModel::PerGate(sim) => {
+                let ModelState::Gate(g) = state else { unreachable!("gate mode state") };
+                sim.init_events(lp, g, sink);
+            }
+            GateModel::Compiled(c) => c.init_events(lp, sink),
+        }
+    }
+
+    fn execute(
+        &self,
+        lp: LpId,
+        state: &mut ModelState,
+        now: VTime,
+        msgs: &[(LpId, GateMsg)],
+        sink: &mut EventSink<GateMsg>,
+    ) {
+        match (self, state) {
+            (GateModel::PerGate(sim), ModelState::Gate(g)) => sim.execute(lp, g, now, msgs, sink),
+            (GateModel::Compiled(c), ModelState::Block(b)) => {
+                c.execute_block(lp, b, now, msgs, sink);
+            }
+            (GateModel::PerGate(_), ModelState::Block(_)) => {
+                unreachable!("block state under gate-per-LP model")
+            }
+            (GateModel::Compiled(_), ModelState::Gate(_)) => {
+                unreachable!("compiled mode has only block states")
+            }
+        }
+    }
+}

@@ -184,17 +184,19 @@ fn vcd_char(v: Value) -> char {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pls_logic::{DelayModel, StimulusConfig};
+    use crate::GateSimBuilder;
+    use pls_logic::StimulusConfig;
+
+    fn build(netlist: &Netlist) -> GateSim {
+        GateSimBuilder::new(netlist)
+            .stimulus(StimulusConfig { seed: 3, period: 10, toggle_prob: 0.5 })
+            .clock_period(10)
+            .end_time(120)
+            .build_per_gate()
+    }
 
     fn record(netlist: &Netlist) -> Waveform {
-        let app = GateSim::new(
-            netlist,
-            DelayModel::PerKind,
-            StimulusConfig { seed: 3, period: 10, toggle_prob: 0.5 },
-            10,
-            120,
-        );
-        WaveRecorder::new(app).record()
+        WaveRecorder::new(build(netlist)).record()
     }
 
     #[test]
@@ -211,13 +213,7 @@ mod tests {
     #[test]
     fn recorder_matches_gatesim_transition_counts() {
         let netlist = pls_netlist::data::s27();
-        let app = GateSim::new(
-            &netlist,
-            DelayModel::PerKind,
-            StimulusConfig { seed: 3, period: 10, toggle_prob: 0.5 },
-            10,
-            120,
-        );
+        let app = build(&netlist);
         let plain = pls_timewarp::Simulator::new(&app)
             .run(pls_timewarp::Backend::Sequential)
             .expect("sequential runs cannot fail");

@@ -2,7 +2,7 @@
 //! propagation, X-flush behaviour and determinism details that the
 //! top-level oracle tests would only catch indirectly.
 
-use pls_gatesim::{GateSim, SimConfig};
+use pls_gatesim::{ExecModel, GateSim, GateSimBuilder, SimConfig};
 use pls_logic::{DelayModel, StimulusConfig, Value};
 use pls_netlist::bench_format::parse;
 use pls_timewarp::{Application, Backend, RunReport, Simulator};
@@ -13,14 +13,32 @@ fn run_sequential<A: Application>(app: &A) -> RunReport<A> {
 
 fn sim(text: &str, seed: u64, toggle: f64, end: u64) -> (pls_netlist::Netlist, GateSim) {
     let n = parse("t", text).unwrap();
-    let app = GateSim::new(
-        &n,
-        DelayModel::Unit(1),
-        StimulusConfig { seed, period: 10, toggle_prob: toggle },
-        10,
-        end,
-    );
+    let app = GateSimBuilder::new(&n)
+        .delay(DelayModel::Unit(1))
+        .stimulus(StimulusConfig { seed, period: 10, toggle_prob: toggle })
+        .clock_period(10)
+        .end_time(end)
+        .build_per_gate();
     (n, app)
+}
+
+/// Per-gate fingerprints of both engines on the same workload.
+fn both_fingerprints(text: &str, seed: u64, toggle: f64, end: u64) -> (Vec<u64>, Vec<u64>) {
+    let n = parse("t", text).unwrap();
+    let build = |exec: ExecModel| {
+        GateSimBuilder::new(&n)
+            .delay(DelayModel::Unit(1))
+            .stimulus(StimulusConfig { seed, period: 10, toggle_prob: toggle })
+            .clock_period(10)
+            .end_time(end)
+            .exec(exec)
+            .build()
+    };
+    let gate = build(ExecModel::GatePerLp);
+    let compiled = build("compiled".parse().unwrap());
+    let gf = gate.fingerprint(&run_sequential(&gate).states);
+    let cf = compiled.fingerprint(&run_sequential(&compiled).states);
+    (gf, cf)
 }
 
 #[test]
@@ -116,4 +134,36 @@ fn sim_config_builds_runnable_app() {
     assert!(res.stats.events_processed > 50);
     // c17 is combinational: no DFF ever ticks.
     assert_eq!(netlist.dffs().len(), 0);
+}
+
+#[test]
+fn compiled_mode_reproduces_hazards_exactly() {
+    // The glitch circuit is the hardest timing case: the compiled sweep
+    // must keep the unequal-path transport delays visible, not settle the
+    // cone combinationally.
+    let (gf, cf) =
+        both_fingerprints("INPUT(A)\nOUTPUT(Y)\nB = NOT(A)\nY = AND(A, B)\n", 5, 1.0, 200);
+    assert_eq!(gf, cf, "compiled mode must preserve hazard timing");
+}
+
+#[test]
+fn compiled_mode_matches_on_sequential_circuit() {
+    let (gf, cf) = both_fingerprints(
+        "INPUT(D)\nOUTPUT(Q2)\nQ = DFF(D)\nN = NOT(Q)\nQ2 = DFF(N)\n",
+        3,
+        1.0,
+        300,
+    );
+    assert_eq!(gf, cf, "DFF boundary contract broken");
+}
+
+#[test]
+fn compiled_mode_matches_on_multi_pin_and_reconvergence() {
+    let (gf, cf) = both_fingerprints(
+        "INPUT(A)\nINPUT(B)\nOUTPUT(Y)\nC = NAND(A, B)\nD = NOR(A, C)\nE = AND(C, C)\nY = XOR(E, D)\n",
+        9,
+        0.5,
+        300,
+    );
+    assert_eq!(gf, cf);
 }

@@ -20,6 +20,19 @@
 use crate::event::LpId;
 use crate::time::VTime;
 
+/// Application-level work performed during one `execute` call, reported
+/// through the [`EventSink`] (the kernel cannot see inside an event
+/// handler, so batched-evaluation models — e.g. compiled gate blocks —
+/// declare their work here and the executives fold it into
+/// [`crate::stats::KernelStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppWork {
+    /// Block (fused-LP) activations performed.
+    pub activations: u64,
+    /// Fine-grained operations (e.g. compiled gate evaluations) performed.
+    pub ops: u64,
+}
+
 /// Buffer through which an LP schedules new events during `execute`.
 ///
 /// The kernel stamps ids and send times; the application only names the
@@ -30,25 +43,35 @@ pub struct EventSink<M> {
     now: VTime,
     /// `(dst, recv_time, msg)` collected this call.
     pub(crate) out: Vec<(LpId, VTime, M)>,
+    /// Application work declared this call (see [`AppWork`]).
+    pub(crate) work: AppWork,
 }
 
 impl<M> EventSink<M> {
     pub(crate) fn new(now: VTime) -> EventSink<M> {
-        EventSink { now, out: Vec::new() }
+        EventSink { now, out: Vec::new(), work: AppWork::default() }
     }
 
     /// Build a sink on top of a recycled buffer, so the per-batch hot path
     /// reuses one allocation instead of growing a fresh `Vec` every call.
     pub(crate) fn with_buffer(now: VTime, mut out: Vec<(LpId, VTime, M)>) -> EventSink<M> {
         out.clear();
-        EventSink { now, out }
+        EventSink { now, out, work: AppWork::default() }
     }
 
     /// Retarget the sink at a new batch time, discarding collected sends
-    /// (coast-forward replays events without re-emitting).
+    /// and declared work (coast-forward replays events without re-emitting,
+    /// and replayed work is accounted as `events_coasted`, not as fresh
+    /// execution).
     pub(crate) fn reset(&mut self, now: VTime) {
         self.now = now;
         self.out.clear();
+        self.work = AppWork::default();
+    }
+
+    /// Drain the work counters declared this call (leaves them zeroed).
+    pub(crate) fn take_work(&mut self) -> AppWork {
+        std::mem::take(&mut self.work)
     }
 
     /// Reclaim the underlying buffer (emptied) for later reuse.
@@ -76,6 +99,23 @@ impl<M> EventSink<M> {
     pub fn schedule_at(&mut self, dst: LpId, at: VTime, msg: M) {
         assert!(at > self.now, "events must be scheduled in the future");
         self.out.push((dst, at, msg));
+    }
+
+    /// Declare one block activation (a fused LP evaluated its whole
+    /// instruction buffer this batch). Folded into
+    /// `KernelStats::block_activations` by the executive; rolled-back
+    /// batches stay counted, coast-forward replays do not (mirroring
+    /// `events_processed` / `events_coasted`).
+    pub fn note_block_activation(&mut self) {
+        self.work.activations += 1;
+    }
+
+    /// Declare `n` fine-grained operations (e.g. compiled gate
+    /// evaluations) performed this batch. Folded into
+    /// `KernelStats::ops_executed` under the same accounting rules as
+    /// [`Self::note_block_activation`].
+    pub fn note_ops(&mut self, n: u64) {
+        self.work.ops += n;
     }
 
     /// Number of events scheduled so far in this call.

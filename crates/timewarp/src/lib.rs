@@ -44,7 +44,7 @@ pub mod stats;
 pub mod threaded;
 pub mod time;
 
-pub use app::{Application, EventSink};
+pub use app::{AppWork, Application, EventSink};
 pub use config::{Cancellation, ConfigError, KernelConfig, KernelConfigBuilder};
 pub use cost::CostModel;
 pub use dynlb::{

@@ -450,6 +450,12 @@ impl<A: Application> LpRuntime<A> {
         stats.events_processed += self.batch.len() as u64;
         self.own.events_processed += self.batch.len() as u64;
         probe.batch_executed(self.id, now, self.batch.len() as u64);
+        let work = sink.take_work();
+        if work != crate::app::AppWork::default() {
+            stats.block_activations += work.activations;
+            stats.ops_executed += work.ops;
+            probe.app_work(self.id, now, work.activations, work.ops);
+        }
         self.lvt = now;
         self.processed.append(&mut self.batch);
 

@@ -40,6 +40,13 @@ pub trait Probe: Send {
     /// A batch of `events` simultaneous events was executed at `now`.
     fn batch_executed(&mut self, lp: LpId, now: VTime, events: u64) {}
 
+    /// The batch just executed declared application-level work through the
+    /// `EventSink`: `activations` block activations sweeping `ops`
+    /// fine-grained operations (compiled gate evaluations). Fires only
+    /// when the application declared work — gate-per-LP and PHOLD runs
+    /// never see it.
+    fn app_work(&mut self, lp: LpId, now: VTime, activations: u64, ops: u64) {}
+
     /// A rollback is starting: `lp` unwinds from `from` so the next batch
     /// executes at `to`.
     fn rollback_begun(&mut self, lp: LpId, kind: RollbackKind, from: VTime, to: VTime) {}
@@ -121,6 +128,10 @@ impl<P: Probe, Q: Probe> Probe for Tee<P, Q> {
     fn batch_executed(&mut self, lp: LpId, now: VTime, events: u64) {
         self.a.batch_executed(lp, now, events);
         self.b.batch_executed(lp, now, events);
+    }
+    fn app_work(&mut self, lp: LpId, now: VTime, activations: u64, ops: u64) {
+        self.a.app_work(lp, now, activations, ops);
+        self.b.app_work(lp, now, activations, ops);
     }
     fn rollback_begun(&mut self, lp: LpId, kind: RollbackKind, from: VTime, to: VTime) {
         self.a.rollback_begun(lp, kind, from, to);

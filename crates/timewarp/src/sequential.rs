@@ -80,6 +80,12 @@ pub(crate) fn sequential_core<A: Application, P: Probe>(app: &A, probe: &mut P) 
         stats.events_committed += batch.len() as u64;
         lp_stats[dst as usize].events_processed += batch.len() as u64;
         probe.batch_executed(dst, t, batch.len() as u64);
+        let work = sink.take_work();
+        if work != crate::app::AppWork::default() {
+            stats.block_activations += work.activations;
+            stats.ops_executed += work.ops;
+            probe.app_work(dst, t, work.activations, work.ops);
+        }
         probe.fossil_collected(dst, t, batch.len() as u64);
         end_time = t;
         for (d2, at, msg) in sink.out {

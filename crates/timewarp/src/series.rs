@@ -27,6 +27,10 @@ pub struct Bucket {
     pub batches: u64,
     /// Individual events executed (including later-rolled-back work).
     pub events: u64,
+    /// Compiled-block activations declared by the application.
+    pub block_activations: u64,
+    /// Fine-grained application operations (compiled gate evaluations).
+    pub ops_executed: u64,
     /// Rollbacks caused by straggler positives.
     pub primary_rollbacks: u64,
     /// Rollbacks caused by anti-messages.
@@ -71,6 +75,8 @@ impl Bucket {
     fn merge(&mut self, o: &Bucket) {
         self.batches += o.batches;
         self.events += o.events;
+        self.block_activations += o.block_activations;
+        self.ops_executed += o.ops_executed;
         self.primary_rollbacks += o.primary_rollbacks;
         self.secondary_rollbacks += o.secondary_rollbacks;
         self.events_rolled_back += o.events_rolled_back;
@@ -192,6 +198,7 @@ impl TimeSeries {
             concat!(
                 "{{\"bucket\":{},\"vt_lo\":{},\"vt_hi\":{},",
                 "\"batches\":{},\"events\":{},",
+                "\"block_activations\":{},\"ops_executed\":{},",
                 "\"primary_rollbacks\":{},\"secondary_rollbacks\":{},",
                 "\"events_rolled_back\":{},\"events_coasted\":{},",
                 "\"antis_sent\":{},\"annihilations\":{},\"states_saved\":{},",
@@ -205,6 +212,8 @@ impl TimeSeries {
             vt_hi,
             b.batches,
             b.events,
+            b.block_activations,
+            b.ops_executed,
             b.primary_rollbacks,
             b.secondary_rollbacks,
             b.events_rolled_back,
@@ -239,7 +248,8 @@ impl TimeSeries {
     /// empty `vt_lo`/`vt_hi` and bucket label `final`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "bucket,vt_lo,vt_hi,batches,events,primary_rollbacks,secondary_rollbacks,\
+            "bucket,vt_lo,vt_hi,batches,events,block_activations,ops_executed,\
+             primary_rollbacks,secondary_rollbacks,\
              events_rolled_back,events_coasted,antis_sent,annihilations,states_saved,\
              events_committed,app_messages,remote_antis,gvt_rounds,migrations,\
              migrated_bytes,states_held_max,pending_max,wall_ns_max\n",
@@ -254,12 +264,14 @@ impl TimeSeries {
                 BucketKey::Final => ("final".into(), String::new(), String::new()),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 bucket,
                 vt_lo,
                 vt_hi,
                 b.batches,
                 b.events,
+                b.block_activations,
+                b.ops_executed,
                 b.primary_rollbacks,
                 b.secondary_rollbacks,
                 b.events_rolled_back,
@@ -287,6 +299,12 @@ impl Probe for TimeSeries {
         let b = self.at(now);
         b.batches += 1;
         b.events += events;
+    }
+
+    fn app_work(&mut self, _lp: LpId, now: VTime, activations: u64, ops: u64) {
+        let b = self.at(now);
+        b.block_activations += activations;
+        b.ops_executed += ops;
     }
 
     fn rollback_begun(&mut self, _lp: LpId, kind: RollbackKind, _from: VTime, to: VTime) {
@@ -362,6 +380,8 @@ mod tests {
         ts.batch_executed(0, VTime(3), 2);
         ts.batch_executed(1, VTime(7), 1);
         ts.batch_executed(0, VTime(15), 4);
+        ts.app_work(0, VTime(3), 1, 5);
+        ts.app_work(0, VTime(15), 1, 9);
         ts.rollback_begun(0, RollbackKind::Primary, VTime(15), VTime(12));
         ts.rollback_ended(0, VTime(12), 3, 1);
         ts.anti_sent(0, VTime(15));
@@ -396,6 +416,8 @@ mod tests {
         let t = sample().totals();
         assert_eq!(t.batches, 3);
         assert_eq!(t.events, 7);
+        assert_eq!(t.block_activations, 2);
+        assert_eq!(t.ops_executed, 14);
         assert_eq!(t.rollbacks(), 1);
         assert_eq!(t.events_rolled_back, 3);
         assert_eq!(t.events_coasted, 1);
@@ -501,6 +523,9 @@ mod tests {
             assert!(l.contains("\"vt_lo\":"));
         }
         assert!(lines[0].contains("\"bucket\":0"));
+        assert!(
+            lines[0].contains("\"block_activations\":1") && lines[0].contains("\"ops_executed\":5")
+        );
         assert!(lines[0].contains("\"vt_lo\":0") && lines[0].contains("\"vt_hi\":10"));
         assert!(lines.last().unwrap().contains("\"bucket\":\"final\""));
         assert!(lines.last().unwrap().contains("\"vt_lo\":null"));

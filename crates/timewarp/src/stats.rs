@@ -47,6 +47,15 @@ pub struct KernelStats {
     /// pass, so this is ≤ `app_messages + anti_messages_remote`; zero on
     /// the sequential and platform executives, which use no channels).
     pub comm_batches: u64,
+    /// Block activations: batches in which a fused (compiled-block) LP
+    /// swept its instruction buffer. Zero for models that do not declare
+    /// app-level work (e.g. gate-per-LP mode, PHOLD).
+    pub block_activations: u64,
+    /// Fine-grained application operations (compiled gate evaluations)
+    /// executed inside block activations, including later-rolled-back
+    /// work; coast-forward replays are excluded (they are counted as
+    /// `events_coasted`).
+    pub ops_executed: u64,
     /// State checkpoints written.
     pub states_saved: u64,
     /// Events re-executed silently during coast-forward (rollback repair
@@ -98,6 +107,8 @@ impl KernelStats {
         self.app_messages += other.app_messages;
         self.anti_messages_remote += other.anti_messages_remote;
         self.comm_batches += other.comm_batches;
+        self.block_activations += other.block_activations;
+        self.ops_executed += other.ops_executed;
         self.states_saved += other.states_saved;
         self.events_coasted += other.events_coasted;
         // Synchronized rounds are counted once by every cluster, so they

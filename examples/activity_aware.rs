@@ -37,7 +37,7 @@ fn main() {
     for (label, graph) in [("multilevel", &plain_graph), ("multilevel+activity", &hot_graph)] {
         let part = ml.partition(graph, nodes, 0);
         // Always *simulate* on the real netlist; only the partition differs.
-        let m = run_cell_with(&netlist, &plain_graph, &part, label, nodes, &cfg);
+        let m = Cell::new(&netlist, &plain_graph, &cfg).nodes(nodes).run_with(&part, label);
         println!(
             "{:<22} {:>10} {:>10} {:>9.2} {:>8.2}x",
             label,

@@ -46,7 +46,7 @@ fn main() {
     println!("sequential: {} events, {:.3} modeled s\n", seq.events, seq.exec_time_s);
 
     for strategy in all_partitioners() {
-        let m = run_cell(&netlist, &graph, strategy.as_ref(), nodes, 0, &cfg);
+        let m = Cell::new(&netlist, &graph, &cfg).nodes(nodes).run(strategy.as_ref());
         println!(
             "{:<14} {nodes} nodes: {:.3}s, cut {}, {} msgs, {} rollbacks",
             m.strategy, m.exec_time_s, m.edge_cut, m.app_messages, m.rollbacks

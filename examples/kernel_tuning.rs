@@ -18,7 +18,7 @@ fn run(
     let part = MultilevelPartitioner::default().partition(graph, nodes, 0);
     let mut cfg = SimConfig { end_time: 400, ..Default::default() };
     cfg.platform.kernel = kernel;
-    let m = run_cell_with(netlist, graph, &part, label, nodes, &cfg);
+    let m = Cell::new(netlist, graph, &cfg).nodes(nodes).run_with(&part, label);
     println!(
         "{:<26} time {:>6.2}s  rollbacks {:>6}  remote antis {:>6}  committed {}",
         label, m.exec_time_s, m.rollbacks, m.remote_antis, m.events_committed

@@ -39,7 +39,7 @@ fn main() {
     for strategy in all_partitioners() {
         let part = strategy.partition(&graph, nodes, 0);
         let q = metrics::quality(&graph, &part);
-        let m = run_cell_with(&netlist, &graph, &part, strategy.name(), nodes, &cfg);
+        let m = Cell::new(&netlist, &graph, &cfg).nodes(nodes).run_with(&part, strategy.name());
         println!(
             "{:<14} {:>7} {:>6.3} {:>5.2} | {:>8.2} {:>9} {:>9} {:>7.1}x",
             m.strategy,

@@ -40,7 +40,8 @@ fn main() {
     let cfg = SimConfig { end_time: 400, ..Default::default() };
     let seq = run_seq_baseline(&netlist, &cfg);
     println!("sequential: {} events, {:.2} modeled seconds", seq.events, seq.exec_time_s);
-    let par = run_cell_with(&netlist, &graph, &report.partitioning, "Multilevel", 8, &cfg);
+    let par =
+        Cell::new(&netlist, &graph, &cfg).nodes(8).run_with(&report.partitioning, "Multilevel");
     println!(
         "8-node Time Warp: {:.2} modeled seconds ({:.1}x speedup), \
          {} application messages, {} rollbacks",
@@ -50,4 +51,21 @@ fn main() {
         par.rollbacks
     );
     assert_eq!(par.events_committed, seq.events, "optimistic run must commit the same history");
+
+    // 4. Same run with the compiled gate-block engine: each partition
+    //    block's combinational cone becomes one fused LP.
+    let mut ccfg = cfg.clone();
+    ccfg.exec = ExecModel::CompiledBlocks(CompileOptions::default());
+    let fused =
+        Cell::new(&netlist, &graph, &ccfg).nodes(8).run_with(&report.partitioning, "Multilevel");
+    println!(
+        "8-node compiled blocks: {:.2} modeled seconds, {} block activations, {} ops, \
+         {} kernel events (vs {} per-gate)",
+        fused.exec_time_s,
+        fused.block_activations,
+        fused.ops_executed,
+        fused.events_processed,
+        par.events_processed
+    );
+    assert!(fused.events_committed > 0);
 }

@@ -35,8 +35,19 @@
 //! // Simulate on 4 virtual workstations and compare with sequential.
 //! let cfg = SimConfig { end_time: 120, ..Default::default() };
 //! let seq = run_seq_baseline(&netlist, &cfg);
-//! let par = run_cell_with(&netlist, &graph, &part, "Multilevel", 4, &cfg);
+//! let par = Cell::new(&netlist, &graph, &cfg).nodes(4).run_with(&part, "Multilevel");
 //! assert_eq!(seq.events, par.events_committed);
+//!
+//! // Same run with the compiled gate-block engine: blocks are derived
+//! // from the partitioning. Fewer kernel events flow (cone-internal
+//! // edges are fused away), but the committed per-gate history — checked
+//! // here against a compiled-mode sequential run — is identical.
+//! let mut compiled_cfg = cfg.clone();
+//! compiled_cfg.exec = ExecModel::CompiledBlocks(CompileOptions::default());
+//! let fused =
+//!     Cell::new(&netlist, &graph, &compiled_cfg).nodes(4).checked().run_with(&part, "Multilevel");
+//! assert!(fused.events_committed < seq.events, "fused cones internalize events");
+//! assert!(fused.ops_executed > 0);
 //! ```
 
 pub use pls_gatesim as gatesim;
@@ -48,8 +59,9 @@ pub use pls_timewarp as timewarp;
 /// The common imports for working with the full stack.
 pub mod prelude {
     pub use pls_gatesim::{
-        fingerprint, run_cell, run_cell_checked, run_cell_recorded, run_cell_with,
-        run_seq_baseline, GateMsg, GateSim, GateState, RunMetrics, SeqMetrics, SimConfig,
+        fingerprint, run_seq_baseline, BlockState, Cell, CompileOptions, CompiledSim, ExecModel,
+        GateModel, GateMsg, GateSim, GateSimBuilder, GateState, ModelState, RunMetrics, SeqMetrics,
+        SimConfig, UnknownExecModel,
     };
     pub use pls_logic::{eval_gate, DelayModel, StimulusConfig, Value};
     pub use pls_netlist::{

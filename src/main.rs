@@ -36,10 +36,12 @@ USAGE:
   parlogsim generate  <s5378|s9234|s15850|N> [-o F]   synthetic benchmark to .bench
   parlogsim partition <circuit> [-k K] [-s STRAT]     partition and report quality
   parlogsim simulate  <circuit> [-k K] [-s STRAT] [--end T] [--dynlb]
-                                [--trace F [--bucket W]]
+                                [--exec MODE] [--trace F [--bucket W]]
                                                       Time Warp run vs sequential baseline
                                                       (--dynlb migrates LPs at GVT commit;
-                                                       --trace dumps a JSONL telemetry series)
+                                                       --exec gate-per-lp|compiled selects the
+                                                       execution engine; --trace dumps a JSONL
+                                                       telemetry series)
   parlogsim trace     <circuit> [-k K] [-s STRAT] [--end T] [--bucket W]
                                 [--format jsonl|csv] [-o F]
                                                       virtual-time telemetry series
@@ -133,8 +135,10 @@ fn required_circuit(rest: &[String]) -> Netlist {
     let mut spec: Option<&String> = None;
     while i < rest.len() {
         let a = &rest[i];
-        if matches!(a.as_str(), "-k" | "-s" | "-o" | "--end" | "--trace" | "--bucket" | "--format")
-        {
+        if matches!(
+            a.as_str(),
+            "-k" | "-s" | "-o" | "--end" | "--trace" | "--bucket" | "--format" | "--exec"
+        ) {
             i += 2;
             continue;
         }
@@ -242,6 +246,18 @@ fn bucket_of(rest: &[String], end: u64) -> u64 {
     w
 }
 
+/// Parse `--exec` into an [`ExecModel`]; exits with the valid names on a
+/// bad value.
+fn exec_of(rest: &[String]) -> ExecModel {
+    match flag(rest, "--exec") {
+        None => ExecModel::default(),
+        Some(name) => name.parse().unwrap_or_else(|e: UnknownExecModel| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+    }
+}
+
 fn cmd_simulate(rest: &[String]) {
     let netlist = required_circuit(rest);
     let k = k_of(rest, 8);
@@ -249,6 +265,7 @@ fn cmd_simulate(rest: &[String]) {
     let strategy = strategy_of(rest);
     let graph = CircuitGraph::from_netlist(&netlist);
     let mut cfg = SimConfig { end_time: end, ..Default::default() };
+    cfg.exec = exec_of(rest);
     if rest.iter().any(|a| a == "--dynlb") {
         cfg.dynlb = Some(DynLbConfig::default());
     }
@@ -257,25 +274,37 @@ fn cmd_simulate(rest: &[String]) {
     let trace_path = flag(rest, "--trace");
     let bucket = trace_path.map(|_| bucket_of(rest, end));
     let part = strategy.partition(&graph, k, 0);
-    let (m, series) = run_cell_recorded(&netlist, &graph, &part, strategy.name(), k, &cfg, bucket);
+    let mut cell = Cell::new(&netlist, &graph, &cfg).nodes(k);
+    if let Some(w) = bucket {
+        cell = cell.record(w);
+    }
+    let m = cell.run_with(&part, strategy.name());
     if m.out_of_memory {
         out!("{} on {k} nodes: OUT OF MEMORY", m.strategy);
         exit(1);
     }
     let dynlb_note =
         if cfg.dynlb.is_some() { format!(", {} migrations", m.migrations) } else { String::new() };
+    let exec_note = if m.block_activations > 0 {
+        format!(", {} block activations, {} ops", m.block_activations, m.ops_executed)
+    } else {
+        String::new()
+    };
     out!(
-        "{} on {k} nodes: {:.3} modeled s ({:.2}x), {} messages, {} rollbacks, efficiency {:.0}%{}",
+        "{} on {k} nodes ({}): {:.3} modeled s ({:.2}x), {} messages, {} rollbacks, \
+         efficiency {:.0}%{}{}",
         m.strategy,
+        cfg.exec,
         m.exec_time_s,
         seq.exec_time_s / m.exec_time_s,
         m.app_messages,
         m.rollbacks,
         100.0 * m.events_committed as f64 / m.events_processed as f64,
+        exec_note,
         dynlb_note
     );
     if let Some(path) = trace_path {
-        let series = series.expect("recording was requested");
+        let series = m.telemetry.expect("recording was requested");
         std::fs::write(path, series.to_jsonl()).unwrap_or_else(|e| {
             eprintln!("cannot write `{path}`: {e}");
             exit(1);
@@ -297,13 +326,13 @@ fn cmd_trace(rest: &[String]) {
     let graph = CircuitGraph::from_netlist(&netlist);
     let cfg = SimConfig { end_time: end, ..Default::default() };
     let part = strategy.partition(&graph, k, 0);
-    let (m, series) =
-        run_cell_recorded(&netlist, &graph, &part, strategy.name(), k, &cfg, Some(bucket));
+    let m =
+        Cell::new(&netlist, &graph, &cfg).nodes(k).record(bucket).run_with(&part, strategy.name());
     if m.out_of_memory {
         eprintln!("{} on {k} nodes: OUT OF MEMORY", m.strategy);
         exit(1);
     }
-    let series = series.expect("recording was requested");
+    let series = m.telemetry.clone().expect("recording was requested");
     let format = flag(rest, "--format");
     let rendered = match format {
         Some("jsonl") => series.to_jsonl(),
@@ -445,7 +474,9 @@ fn cmd_vcd(rest: &[String]) {
     let netlist = required_circuit(rest);
     let end: u64 = flag(rest, "--end").and_then(|v| v.parse().ok()).unwrap_or(400);
     let cfg = SimConfig { end_time: end, ..Default::default() };
-    let app = cfg.build_app(&netlist);
+    // Waveforms are per-gate by construction: always record the per-gate
+    // engine (identical committed history either way).
+    let app = cfg.build_gate_sim(&netlist);
     let wave = WaveRecorder::new(app).record();
     let vcd = write_vcd(&netlist, &wave, netlist.outputs(), "1ns");
     match flag(rest, "-o") {

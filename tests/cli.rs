@@ -53,7 +53,7 @@ fn generate_parse_simulate_round_trip() {
 
     let sim = run_ok(&["simulate", p, "-k", "4", "--end", "100"]);
     assert!(sim.contains("sequential:"));
-    assert!(sim.contains("Multilevel on 4 nodes:"));
+    assert!(sim.contains("Multilevel on 4 nodes (gate-per-lp):"));
     std::fs::remove_file(&path).ok();
 }
 
@@ -84,7 +84,24 @@ fn vcd_output_is_well_formed() {
 #[test]
 fn simulate_synth_spec() {
     let out = run_ok(&["simulate", "synth:100", "-k", "2", "--end", "60", "-s", "random"]);
-    assert!(out.contains("Random on 2 nodes:"));
+    assert!(out.contains("Random on 2 nodes (gate-per-lp):"));
+}
+
+#[test]
+fn simulate_compiled_exec_reports_block_work() {
+    let out = run_ok(&["simulate", "synth:150", "-k", "4", "--end", "100", "--exec", "compiled"]);
+    assert!(out.contains("(compiled)"), "{out}");
+    assert!(out.contains("block activations"), "{out}");
+    assert!(out.contains("ops"), "{out}");
+}
+
+#[test]
+fn simulate_rejects_unknown_exec_model() {
+    let out = cli().args(["simulate", "s27", "--exec", "jit"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown exec model"), "{err}");
+    assert!(err.contains("gate-per-lp") && err.contains("compiled"), "{err}");
 }
 
 #[test]

@@ -18,10 +18,14 @@ fn paper_suite_has_table1_characteristics() {
 fn all_strategies_all_nodes_match_sequential_on_s27() {
     let netlist = parlogsim::netlist::data::s27();
     let graph = CircuitGraph::from_netlist(&netlist);
-    let cfg = SimConfig { end_time: 500, ..Default::default() };
-    for strategy in all_partitioners() {
-        for nodes in [1, 2, 3, 4] {
-            run_cell_checked(&netlist, &graph, strategy.as_ref(), nodes, 0, &cfg);
+    let base = SimConfig { end_time: 500, ..Default::default() };
+    for exec in [ExecModel::GatePerLp, ExecModel::CompiledBlocks(CompileOptions::default())] {
+        let mut cfg = base.clone();
+        cfg.exec = exec;
+        for strategy in all_partitioners() {
+            for nodes in [1, 2, 3, 4] {
+                Cell::new(&netlist, &graph, &cfg).nodes(nodes).checked().run(strategy.as_ref());
+            }
         }
     }
 }
@@ -35,7 +39,7 @@ fn medium_synthetic_circuit_full_pipeline() {
     assert!(seq.events > 1000, "workload too idle to be meaningful");
 
     for strategy in all_partitioners() {
-        let m = run_cell_checked(&netlist, &graph, strategy.as_ref(), 6, 1, &cfg);
+        let m = Cell::new(&netlist, &graph, &cfg).nodes(6).seed(1).checked().run(strategy.as_ref());
         assert_eq!(m.events_committed, seq.events, "{}", m.strategy);
         assert!(m.exec_time_s > 0.0);
     }
@@ -48,9 +52,9 @@ fn multilevel_dominates_on_communication() {
     let netlist = IscasSynth::small(800, 5).build();
     let graph = CircuitGraph::from_netlist(&netlist);
     let cfg = SimConfig { end_time: 150, ..Default::default() };
-    let ml = run_cell(&netlist, &graph, &MultilevelPartitioner::default(), 8, 0, &cfg);
-    let rnd = run_cell(&netlist, &graph, &RandomPartitioner, 8, 0, &cfg);
-    let topo = run_cell(&netlist, &graph, &TopologicalPartitioner, 8, 0, &cfg);
+    let ml = Cell::new(&netlist, &graph, &cfg).nodes(8).run(&MultilevelPartitioner::default());
+    let rnd = Cell::new(&netlist, &graph, &cfg).nodes(8).run(&RandomPartitioner);
+    let topo = Cell::new(&netlist, &graph, &cfg).nodes(8).run(&TopologicalPartitioner);
     assert!(
         ml.app_messages * 2 < rnd.app_messages,
         "ml {} vs random {}",
@@ -84,14 +88,18 @@ fn lazy_and_sparse_checkpoints_preserve_committed_history() {
             ..Default::default()
         },
     ] {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.platform.kernel = kernel;
         let app = cfg.build_app(&netlist);
         let res = Simulator::new(&app)
             .platform_config(&cfg.platform)
             .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
             .unwrap();
-        assert_eq!(fingerprint(&res.states), seq.fingerprint, "kernel config {kernel:?} diverged");
+        assert_eq!(
+            app.fingerprint(&res.states),
+            seq.fingerprint,
+            "kernel config {kernel:?} diverged"
+        );
     }
 }
 
@@ -106,7 +114,7 @@ fn threaded_executive_matches_sequential_gate_sim() {
     let res = Simulator::new(&app)
         .run(Backend::Threaded { assignment: &part.assignment, clusters: 2 })
         .unwrap();
-    assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
+    assert_eq!(app.fingerprint(&res.states), app.fingerprint(&seq.states));
     assert_eq!(res.stats.events_committed, seq.stats.events_processed);
 }
 
@@ -136,11 +144,11 @@ fn memory_limit_kills_memory_hungry_runs_only() {
 
     // Generous limit: must survive.
     cfg.platform.state_limit_per_node = Some(1_000_000);
-    let ok = run_cell(&netlist, &graph, &RandomPartitioner, 4, 0, &cfg);
+    let ok = Cell::new(&netlist, &graph, &cfg).nodes(4).run(&RandomPartitioner);
     assert!(!ok.out_of_memory);
 
     // Starvation limit: must die cleanly.
     cfg.platform.state_limit_per_node = Some(10);
-    let dead = run_cell(&netlist, &graph, &RandomPartitioner, 4, 0, &cfg);
+    let dead = Cell::new(&netlist, &graph, &cfg).nodes(4).run(&RandomPartitioner);
     assert!(dead.out_of_memory);
 }

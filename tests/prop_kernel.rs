@@ -54,7 +54,7 @@ fn committed_history_is_kernel_independent() {
             .run(Backend::Platform { assignment: &assignment, nodes })
             .unwrap();
 
-        assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
+        assert_eq!(app.fingerprint(&res.states), app.fingerprint(&seq.states));
         assert_eq!(res.stats.events_committed, seq.stats.events_processed);
     }
 }
@@ -90,7 +90,7 @@ fn cost_model_fuzzing_changes_time_not_results() {
 
         // Message timing reshuffles rollback patterns freely, but the
         // committed history is invariant.
-        assert_eq!(fingerprint(&res.states), fingerprint(&seq.states));
+        assert_eq!(app.fingerprint(&res.states), app.fingerprint(&seq.states));
     }
 }
 
@@ -146,7 +146,7 @@ fn lazy_sparse_checkpoints_agree_across_all_three_executives() {
         let cfg = SimConfig { end_time: 80, ..Default::default() };
         let app = cfg.build_app(&netlist);
         let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
-        let want = fingerprint(&seq.states);
+        let want = app.fingerprint(&seq.states);
 
         let mut platform = cfg.platform;
         platform.kernel.cancellation = Cancellation::Lazy;
@@ -156,13 +156,13 @@ fn lazy_sparse_checkpoints_agree_across_all_three_executives() {
             .platform_config(&platform)
             .run(Backend::Platform { assignment: &assignment, nodes })
             .unwrap();
-        assert_eq!(fingerprint(&plat.states), want, "platform diverged");
+        assert_eq!(app.fingerprint(&plat.states), want, "platform diverged");
 
         let thr = Simulator::new(&app)
             .config(platform.kernel)
             .run(Backend::Threaded { assignment: &assignment, clusters: nodes })
             .unwrap();
-        assert_eq!(fingerprint(&thr.states), want, "threaded diverged");
+        assert_eq!(app.fingerprint(&thr.states), want, "threaded diverged");
         assert_eq!(thr.stats.events_committed, seq.stats.events_processed);
     }
 }
@@ -186,7 +186,7 @@ fn migration_never_changes_the_committed_history() {
         let cfg = SimConfig { end_time: 80, ..Default::default() };
         let app = cfg.build_app(&netlist);
         let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
-        let want = fingerprint(&seq.states);
+        let want = app.fingerprint(&seq.states);
 
         let mut platform = cfg.platform;
         platform.kernel.gvt_period = 8; // frequent GVT → many balance points
@@ -200,7 +200,7 @@ fn migration_never_changes_the_committed_history() {
                 .unwrap()
         };
         let plat = run_plat();
-        assert_eq!(fingerprint(&plat.states), want, "platform+dynlb diverged");
+        assert_eq!(app.fingerprint(&plat.states), want, "platform+dynlb diverged");
         assert_eq!(plat.stats.events_committed, seq.stats.events_processed);
         let again = run_plat();
         assert_eq!(again.stats, plat.stats, "platform+dynlb not reproducible");
@@ -211,7 +211,7 @@ fn migration_never_changes_the_committed_history() {
             .load_balancer(lb)
             .run(Backend::Threaded { assignment: &assignment, clusters: nodes })
             .unwrap();
-        assert_eq!(fingerprint(&thr.states), want, "threaded+dynlb diverged");
+        assert_eq!(app.fingerprint(&thr.states), want, "threaded+dynlb diverged");
         assert_eq!(thr.stats.events_committed, seq.stats.events_processed);
 
         // At least some sweep rounds must actually migrate, or this test
@@ -223,6 +223,106 @@ fn migration_never_changes_the_committed_history() {
             );
         }
     }
+}
+
+#[test]
+fn compiled_blocks_match_gate_per_lp_for_arbitrary_circuits() {
+    // The cross-engine determinism theorem: for arbitrary circuits and
+    // arbitrary block maps, the compiled gate-block engine commits the
+    // same per-gate history as the gate-per-LP oracle — sequentially and
+    // on the optimistic platform executive.
+    let mut s = 70u64;
+    for _ in 0..16 {
+        let gates = (30 + mix(&mut s) % 170) as usize;
+        let circuit_seed = mix(&mut s) % 500;
+        let nodes = (2 + mix(&mut s) % 5) as usize;
+        let block_seed = mix(&mut s) % 100;
+
+        let netlist = IscasSynth::small(gates, circuit_seed).build();
+        let cfg = SimConfig { end_time: 80, ..Default::default() };
+        let gate = cfg.build_app(&netlist);
+        let want =
+            gate.fingerprint(&Simulator::new(&gate).run(Backend::Sequential).unwrap().states);
+
+        // Arbitrary (partition-agnostic) block map: blocks need not align
+        // with the placement at all.
+        let blocks = arbitrary_assignment(netlist.len(), nodes, block_seed);
+        let mut ccfg = cfg.clone();
+        ccfg.exec = ExecModel::CompiledBlocks(CompileOptions { blocks: Some(blocks.clone()) });
+        let compiled = ccfg.build_app(&netlist);
+
+        let seq = Simulator::new(&compiled).run(Backend::Sequential).unwrap();
+        assert_eq!(compiled.fingerprint(&seq.states), want, "sequential compiled diverged");
+
+        let assignment = compiled.lp_assignment(&arbitrary_assignment(netlist.len(), nodes, 7));
+        let plat = Simulator::new(&compiled)
+            .platform_config(&cfg.platform)
+            .run(Backend::Platform { assignment: &assignment, nodes })
+            .unwrap();
+        assert_eq!(compiled.fingerprint(&plat.states), want, "platform compiled diverged");
+        assert_eq!(plat.stats.events_committed, seq.stats.events_processed);
+        assert!(plat.stats.ops_executed >= seq.stats.ops_executed);
+    }
+}
+
+#[test]
+fn compiled_blocks_survive_rollback_and_coast_forward_storms() {
+    // Rollback-path stress for the compiled engine: kernel configs chosen
+    // to maximise rollback machinery coverage — lazy cancellation (block
+    // re-execution must regenerate byte-identical boundary messages for
+    // the regeneration filter to be sound), sparse checkpoints (rollbacks
+    // land between snapshots, forcing coast-forward replay of whole block
+    // activations), and a tiny GVT period with a tight optimism window
+    // (fossil collection constantly trims the state queue the replays
+    // read from). Committed per-gate fingerprints must still match the
+    // sequential oracle on both optimistic executives.
+    let netlist = IscasSynth::small(180, 11).build();
+    let cfg = SimConfig { end_time: 120, ..Default::default() };
+    let gate = cfg.build_app(&netlist);
+    let want = gate.fingerprint(&Simulator::new(&gate).run(Backend::Sequential).unwrap().states);
+
+    let nodes = 3;
+    let blocks = arbitrary_assignment(netlist.len(), nodes, 23);
+    let mut ccfg = cfg.clone();
+    ccfg.exec = ExecModel::CompiledBlocks(CompileOptions { blocks: Some(blocks) });
+    let compiled = ccfg.build_app(&netlist);
+    let assignment = compiled.lp_assignment(&arbitrary_assignment(netlist.len(), nodes, 5));
+
+    let mut coasted = 0;
+    let mut rolled = 0;
+    for (cancellation, checkpoint, gvt, window) in [
+        (Cancellation::Lazy, 4, 2, Some(2)),
+        (Cancellation::Lazy, 5, 512, None),
+        (Cancellation::Aggressive, 4, 2, Some(2)),
+        (Cancellation::Aggressive, 3, 4, None),
+    ] {
+        let kernel =
+            KernelConfig { cancellation, checkpoint_interval: checkpoint, gvt_period: gvt, window };
+        let plat = Simulator::new(&compiled)
+            .config(kernel)
+            .run(Backend::Platform { assignment: &assignment, nodes })
+            .unwrap();
+        assert_eq!(
+            compiled.fingerprint(&plat.states),
+            want,
+            "compiled diverged under {cancellation:?}/ckpt{checkpoint}/gvt{gvt}/{window:?}"
+        );
+        coasted += plat.stats.events_coasted;
+        rolled += plat.stats.events_rolled_back;
+
+        let thr = Simulator::new(&compiled)
+            .config(kernel)
+            .run(Backend::Threaded { assignment: &assignment, clusters: nodes })
+            .unwrap();
+        assert_eq!(
+            compiled.fingerprint(&thr.states),
+            want,
+            "threaded compiled diverged under {cancellation:?}/ckpt{checkpoint}/gvt{gvt}/{window:?}"
+        );
+    }
+    // The sweep must actually exercise the machinery it claims to stress.
+    assert!(rolled > 0, "no rollbacks — configs too tame to prove anything");
+    assert!(coasted > 0, "no coast-forward replays — sparse checkpoints unexercised");
 }
 
 #[test]

@@ -43,6 +43,8 @@ fn assert_conserved(totals: &Bucket, stats: &KernelStats, sum_gvt_rounds: bool, 
     assert_eq!(totals.events_committed, stats.events_committed, "{tag}: committed");
     assert_eq!(totals.app_messages, stats.app_messages, "{tag}: app messages");
     assert_eq!(totals.remote_antis, stats.anti_messages_remote, "{tag}: remote antis");
+    assert_eq!(totals.block_activations, stats.block_activations, "{tag}: block activations");
+    assert_eq!(totals.ops_executed, stats.ops_executed, "{tag}: ops executed");
     if sum_gvt_rounds {
         assert_eq!(totals.gvt_rounds, stats.gvt_rounds, "{tag}: gvt rounds");
     }
@@ -55,7 +57,7 @@ fn recording_probe_does_not_perturb_sequential() {
         let app = cfg.build_app(&netlist);
         let plain = Simulator::new(&app).run(Backend::Sequential).unwrap();
         let recorded = Simulator::new(&app).record(BUCKET).run(Backend::Sequential).unwrap();
-        assert_eq!(fingerprint(&recorded.states), fingerprint(&plain.states));
+        assert_eq!(app.fingerprint(&recorded.states), app.fingerprint(&plain.states));
         assert_eq!(recorded.stats, plain.stats);
         let ts = recorded.telemetry.expect("recording was on");
         assert_conserved(&ts.totals(), &recorded.stats, true, netlist.name());
@@ -73,8 +75,8 @@ fn recording_probe_does_not_perturb_platform() {
             let plain = Simulator::new(&app).run(backend).unwrap();
             let recorded = Simulator::new(&app).record(BUCKET).run(backend).unwrap();
             assert_eq!(
-                fingerprint(&recorded.states),
-                fingerprint(&plain.states),
+                app.fingerprint(&recorded.states),
+                app.fingerprint(&plain.states),
                 "{} on {nodes} nodes",
                 netlist.name()
             );
@@ -98,7 +100,7 @@ fn recording_probe_does_not_perturb_threaded() {
         let backend = Backend::Threaded { assignment: &asg, clusters: 2 };
         let plain = Simulator::new(&app).run(backend).unwrap();
         let recorded = Simulator::new(&app).record(BUCKET).run(backend).unwrap();
-        assert_eq!(fingerprint(&recorded.states), fingerprint(&plain.states));
+        assert_eq!(app.fingerprint(&recorded.states), app.fingerprint(&plain.states));
         assert_eq!(recorded.stats.events_committed, plain.stats.events_committed);
         let ts = recorded.telemetry.expect("recording was on");
         assert_conserved(&ts.totals(), &recorded.stats, false, netlist.name());
@@ -132,6 +134,41 @@ fn bucket_sums_match_aggregates_across_configs() {
         assert_conserved(&ts.totals(), &res.stats, true, &tag);
         assert!(ts.totals().rollbacks() > 0 || res.stats.rollbacks() == 0);
     }
+}
+
+#[test]
+fn compiled_app_work_counters_reconcile_across_executives() {
+    // The compiled engine's per-activation work (block activations, ops
+    // swept) must decompose losslessly into virtual-time buckets on every
+    // executive, and committed work must be executive-independent.
+    let netlist = IscasSynth::small(200, 3).build();
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+    let mut cfg = SimConfig { end_time: 200, ..Default::default() };
+    cfg.exec = ExecModel::CompiledBlocks(CompileOptions { blocks: Some(part.assignment.clone()) });
+    let app = cfg.build_app(&netlist);
+
+    let seq = Simulator::new(&app).record(BUCKET).run(Backend::Sequential).unwrap();
+    assert!(seq.stats.block_activations > 0, "compiled run must activate blocks");
+    assert!(seq.stats.ops_executed >= seq.stats.block_activations);
+    assert_conserved(&seq.telemetry.as_ref().unwrap().totals(), &seq.stats, true, "seq/compiled");
+
+    let asg = app.lp_assignment(&part.assignment);
+    let plat = Simulator::new(&app)
+        .platform_config(&cfg.platform)
+        .record(BUCKET)
+        .run(Backend::Platform { assignment: &asg, nodes: 4 })
+        .unwrap();
+    assert_conserved(
+        &plat.telemetry.as_ref().unwrap().totals(),
+        &plat.stats,
+        true,
+        "platform/compiled",
+    );
+    // Speculative activations can exceed the sequential count, never
+    // undercut it.
+    assert!(plat.stats.block_activations >= seq.stats.block_activations);
+    assert_eq!(app.fingerprint(&plat.states), app.fingerprint(&seq.states));
 }
 
 #[test]
