@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use pls_bench::kernel_scenarios::kernel_scenarios;
+use pls_bench::kernel_scenarios::{kernel_scenarios, ScenarioOutcome};
 use pls_bench::{bench_events, BenchSummary};
 
 fn repo_root() -> PathBuf {
@@ -28,14 +28,15 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
 }
 
-fn summaries_json(rows: &[(&'static str, BenchSummary)], indent: &str) -> String {
+fn summaries_json(rows: &[(&'static str, BenchSummary, ScenarioOutcome)], indent: &str) -> String {
     let mut s = String::from("{\n");
-    for (i, (name, m)) in rows.iter().enumerate() {
+    for (i, (name, m, o)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             s,
-            "{indent}  \"{name}\": {{ \"median_ns_per_event\": {:.1}, \"min_ns_per_event\": {:.1}, \"events\": {}, \"samples\": {} }}{comma}",
-            m.median_ns_per_event, m.min_ns_per_event, m.events, m.samples
+            "{indent}  \"{name}\": {{ \"median_ns_per_event\": {:.1}, \"min_ns_per_event\": {:.1}, \"events\": {}, \"modeled_s\": {:.4}, \"app_messages\": {}, \"messages_saved\": {}, \"samples\": {} }}{comma}",
+            m.median_ns_per_event, m.min_ns_per_event, m.events, o.modeled_s, o.app_messages,
+            o.messages_saved, m.samples
         );
     }
     let _ = write!(s, "{indent}}}");
@@ -90,18 +91,29 @@ fn main() {
     }
 
     let samples = if smoke { 3 } else { 7 };
-    let mut rows: Vec<(&'static str, BenchSummary)> = Vec::new();
+    let mut rows: Vec<(&'static str, BenchSummary, ScenarioOutcome)> = Vec::new();
     for mut sc in kernel_scenarios(smoke) {
         if only.as_deref().is_some_and(|o| o != sc.name) {
             continue;
         }
         eprintln!("bench_kernel: running {} ({samples} samples)…", sc.name);
-        let m = bench_events(samples, &mut sc.run);
+        let run = &mut sc.run;
+        let mut last = ScenarioOutcome::default();
+        let m = bench_events(samples, || {
+            let o = run();
+            last = o;
+            o.units
+        });
         eprintln!(
-            "  {}: median {:.1} ns/event (min {:.1}, {} events)",
-            sc.name, m.median_ns_per_event, m.min_ns_per_event, m.events
+            "  {}: median {:.1} ns/event (min {:.1}, {} events, modeled {:.4}s, {} msgs)",
+            sc.name,
+            m.median_ns_per_event,
+            m.min_ns_per_event,
+            m.events,
+            last.modeled_s,
+            last.app_messages
         );
-        rows.push((sc.name, m));
+        rows.push((sc.name, m, last));
     }
 
     let scenarios = summaries_json(&rows, "  ");
@@ -112,13 +124,13 @@ fn main() {
             eprintln!("no scenario named {name}");
             std::process::exit(2);
         }
-        println!("{{\n  \"schema\": \"pls-bench-kernel/1\",\n  \"mode\": \"only\",\n  \"scenarios\": {scenarios}\n}}");
+        println!("{{\n  \"schema\": \"pls-bench-kernel/2\",\n  \"mode\": \"only\",\n  \"scenarios\": {scenarios}\n}}");
         return;
     }
     if smoke {
         // CI perf-smoke: print, never touch the tracked file (smoke sizes
         // are not comparable to the full suite).
-        println!("{{\n  \"schema\": \"pls-bench-kernel/1\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {scenarios}\n}}");
+        println!("{{\n  \"schema\": \"pls-bench-kernel/2\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {scenarios}\n}}");
         return;
     }
 
@@ -132,7 +144,7 @@ fn main() {
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"pls-bench-kernel/1\",");
+    let _ = writeln!(out, "  \"schema\": \"pls-bench-kernel/2\",");
     let _ = writeln!(out, "  \"unit\": \"ns_per_event\",");
     let _ = writeln!(out, "  \"scenarios\": {scenarios},");
     let _ = writeln!(out, "  \"baseline\": {baseline}");

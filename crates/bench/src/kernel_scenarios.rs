@@ -7,20 +7,48 @@
 //! machine — ns/event medians are comparable within one machine.
 
 use pls_gatesim::{CompileOptions, ExecModel, SimConfig};
-use pls_netlist::IscasSynth;
-use pls_partition::{CircuitGraph, MultilevelPartitioner, Partitioner};
+use pls_netlist::{ClockTreeSynth, IscasSynth};
+use pls_partition::{CircuitGraph, MultilevelPartitioner, Partitioner, ReplicationConfig};
 use pls_timewarp::{
-    Backend, Cancellation, CostModel, DynLbConfig, KernelConfig, Phold, PlatformConfig,
-    RotatingHotspot, Simulator,
+    Application, Backend, Cancellation, CostModel, DynLbConfig, KernelConfig, Phold,
+    PlatformConfig, RotatingHotspot, RunReport, Simulator,
 };
 
+/// What one scenario execution measured. `units` is the ns/unit
+/// denominator (events, or ops+events for compiled scenarios); the other
+/// fields disambiguate pairs whose host timing is indistinguishable —
+/// the modeled makespan separates `dynlb_hotspot_static/dynamic`, and
+/// the message counts separate the replication on/off pairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioOutcome {
+    /// Work units for the ns/unit denominator.
+    pub units: u64,
+    /// Modeled completion time in seconds (platform runs; 0.0 for
+    /// sequential scenarios, where only wall time is meaningful).
+    pub modeled_s: f64,
+    /// Positive application events that crossed node boundaries.
+    pub app_messages: u64,
+    /// Boundary messages elided by logic replication.
+    pub messages_saved: u64,
+}
+
 /// One named, repeatable kernel workload. `run` executes it once and
-/// returns the number of events processed (the ns/event denominator).
+/// returns what it measured.
 pub struct KernelScenario {
     /// Stable scenario name (the `BENCH_kernel.json` key).
     pub name: &'static str,
-    /// Execute the workload once, returning events processed.
-    pub run: Box<dyn FnMut() -> u64>,
+    /// Execute the workload once.
+    pub run: Box<dyn FnMut() -> ScenarioOutcome>,
+}
+
+/// Fold a kernel run report into a [`ScenarioOutcome`].
+fn sample<A: Application>(units: u64, rep: &RunReport<A>) -> ScenarioOutcome {
+    ScenarioOutcome {
+        units,
+        modeled_s: rep.outcome.exec_time_s().unwrap_or(0.0),
+        app_messages: rep.stats.app_messages,
+        messages_saved: rep.stats.messages_saved,
+    }
 }
 
 fn striped(n: usize, parts: usize) -> Vec<u32> {
@@ -32,6 +60,16 @@ fn striped(n: usize, parts: usize) -> Vec<u32> {
             (h % parts as u64) as u32
         })
         .collect()
+}
+
+/// The replication bounds used by the `*_replicated` scenarios: wider
+/// than [`ReplicationConfig::default`] — singleton boundary pull-backs
+/// are allowed (`min_fanout: 1`, zero evaluation cost) and the cone
+/// passes run until fixpoint — because the scenario exists to show the
+/// message ceiling replication reaches on a cut the multilevel pipeline
+/// has already minimized.
+pub fn scenario_replication() -> ReplicationConfig {
+    ReplicationConfig { budget_per_part: 128, min_fanout: 1, max_fanin: 5, gate_cost: 0, passes: 4 }
 }
 
 /// Build the benchmark suite. `smoke` shrinks every workload (~10×) for
@@ -51,7 +89,8 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "sequential_gates",
             run: Box::new(move || {
-                Simulator::new(&app).run(Backend::Sequential).unwrap().stats.events_processed
+                let rep = Simulator::new(&app).run(Backend::Sequential).unwrap();
+                sample(rep.stats.events_processed, &rep)
             }),
         });
     }
@@ -73,8 +112,8 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "sequential_gates_compiled",
             run: Box::new(move || {
-                let s = Simulator::new(&app).run(Backend::Sequential).unwrap().stats;
-                s.ops_executed + s.events_processed
+                let rep = Simulator::new(&app).run(Backend::Sequential).unwrap();
+                sample(rep.stats.ops_executed + rep.stats.events_processed, &rep)
             }),
         });
     }
@@ -91,11 +130,10 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "gates_platform4",
             run: Box::new(move || {
-                Simulator::new(&app)
+                let rep = Simulator::new(&app)
                     .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
-                    .unwrap()
-                    .stats
-                    .events_processed
+                    .unwrap();
+                sample(rep.stats.events_processed, &rep)
             }),
         });
     }
@@ -138,12 +176,79 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "gates_platform4_compiled",
             run: Box::new(move || {
-                let s = Simulator::new(&app)
+                let rep = Simulator::new(&app)
                     .platform_config(&pcfg)
                     .run(Backend::Platform { assignment: &assignment, nodes: 4 })
-                    .unwrap()
-                    .stats;
-                s.ops_executed + s.events_processed
+                    .unwrap();
+                sample(rep.stats.ops_executed + rep.stats.events_processed, &rep)
+            }),
+        });
+    }
+
+    // 2c. Scenario 2 plus bounded logic replication: the same circuit,
+    //    the same multilevel partitioning, with the replication planner
+    //    duplicating profitable boundary cones into their reading parts.
+    //    Replica LPs evaluate locally, so their home copies' boundary
+    //    messages disappear (`messages_saved`); compare `app_messages`
+    //    against scenario 2 for the paper's Figure-5 axis.
+    {
+        let gates = scale(800, 150) as usize;
+        let netlist = IscasSynth::small(gates, 3).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+        let mut cfg = SimConfig { end_time: scale(150, 80), ..Default::default() };
+        cfg.replication = Some(scenario_replication());
+        let app = cfg.build_app_partitioned(&netlist, &graph, &part);
+        let assignment = app.lp_assignment(&part.assignment);
+        out.push(KernelScenario {
+            name: "gates_platform4_replicated",
+            run: Box::new(move || {
+                let rep = Simulator::new(&app)
+                    .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+                    .unwrap();
+                sample(rep.stats.events_processed, &rep)
+            }),
+        });
+    }
+
+    // 2d & 2e. Clock-tree-heavy circuit: a broadcast buffer tree whose
+    //    leaves each gate a logic cluster — the fanout shape that puts a
+    //    floor under cut-only partitioning (a leaf driving a split
+    //    cluster costs messages per toggle no matter where it sits).
+    //    Run without and with replication; the replicated run should
+    //    collapse most boundary traffic (replicating one buffer into a
+    //    reading part erases a whole cluster's worth of crossing pins).
+    {
+        let netlist = ClockTreeSynth::platform_demo().build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+        let cfg = SimConfig { end_time: scale(150, 60), ..Default::default() };
+        let app = cfg.build_app(&netlist);
+        out.push(KernelScenario {
+            name: "clocktree_platform4",
+            run: Box::new(move || {
+                let rep = Simulator::new(&app)
+                    .run(Backend::Platform { assignment: &part.assignment, nodes: 4 })
+                    .unwrap();
+                sample(rep.stats.events_processed, &rep)
+            }),
+        });
+    }
+    {
+        let netlist = ClockTreeSynth::platform_demo().build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let part = MultilevelPartitioner::default().partition(&graph, 4, 0);
+        let mut cfg = SimConfig { end_time: scale(150, 60), ..Default::default() };
+        cfg.replication = Some(ReplicationConfig::default());
+        let app = cfg.build_app_partitioned(&netlist, &graph, &part);
+        let assignment = app.lp_assignment(&part.assignment);
+        out.push(KernelScenario {
+            name: "clocktree_platform4_replicated",
+            run: Box::new(move || {
+                let rep = Simulator::new(&app)
+                    .run(Backend::Platform { assignment: &assignment, nodes: 4 })
+                    .unwrap();
+                sample(rep.stats.events_processed, &rep)
             }),
         });
     }
@@ -166,11 +271,10 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "straggler_heavy",
             run: Box::new(move || {
-                Simulator::new(&model)
+                let rep = Simulator::new(&model)
                     .run(Backend::Platform { assignment: &assignment, nodes: 4 })
-                    .unwrap()
-                    .stats
-                    .events_processed
+                    .unwrap();
+                sample(rep.stats.events_processed, &rep)
             }),
         });
     }
@@ -201,12 +305,11 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "anti_heavy",
             run: Box::new(move || {
-                Simulator::new(&model)
+                let rep = Simulator::new(&model)
                     .platform_config(&pcfg)
                     .run(Backend::Platform { assignment: &assignment, nodes: 4 })
-                    .unwrap()
-                    .stats
-                    .events_processed
+                    .unwrap();
+                sample(rep.stats.events_processed, &rep)
             }),
         });
     }
@@ -234,12 +337,11 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "lazy_sparse_ckpt",
             run: Box::new(move || {
-                Simulator::new(&model)
+                let rep = Simulator::new(&model)
                     .platform_config(&pcfg)
                     .run(Backend::Platform { assignment: &assignment, nodes: 4 })
-                    .unwrap()
-                    .stats
-                    .events_processed
+                    .unwrap();
+                sample(rep.stats.events_processed, &rep)
             }),
         });
     }
@@ -252,19 +354,21 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
     //    events *committed* (the useful work is identical between the
     //    pair, processed counts are not — rollback waste is part of what
     //    migration removes), so their ns/event is comparable within the
-    //    pair but not against scenarios 1–5.
+    //    pair but not against scenarios 1–5. Host timing alone cannot
+    //    separate the pair (the virtual platform runs the same host
+    //    work either way); the recorded `modeled_s` makespan is where
+    //    migration's win shows up.
     {
         let (model, pcfg, _) = hotspot_setup(smoke);
         let assignment = round_robin(model.lps, 4);
         out.push(KernelScenario {
             name: "dynlb_hotspot_static",
             run: Box::new(move || {
-                Simulator::new(&model)
+                let rep = Simulator::new(&model)
                     .platform_config(&pcfg)
                     .run(Backend::Platform { assignment: &assignment, nodes: 4 })
-                    .unwrap()
-                    .stats
-                    .events_committed
+                    .unwrap();
+                sample(rep.stats.events_committed, &rep)
             }),
         });
     }
@@ -274,13 +378,12 @@ pub fn kernel_scenarios(smoke: bool) -> Vec<KernelScenario> {
         out.push(KernelScenario {
             name: "dynlb_hotspot_dynamic",
             run: Box::new(move || {
-                Simulator::new(&model)
+                let rep = Simulator::new(&model)
                     .platform_config(&pcfg)
                     .load_balancer(lb)
                     .run(Backend::Platform { assignment: &assignment, nodes: 4 })
-                    .unwrap()
-                    .stats
-                    .events_committed
+                    .unwrap();
+                sample(rep.stats.events_committed, &rep)
             }),
         });
     }

@@ -197,7 +197,7 @@ impl Grid {
         }
         for line in text.lines().skip(2) {
             let f: Vec<&str> = line.split(',').collect();
-            if f.len() != 14 {
+            if f.len() != 17 {
                 continue;
             }
             let m = RunMetrics {
@@ -211,10 +211,13 @@ impl Grid {
                 events_processed: f[7].parse().unwrap_or(0),
                 remote_antis: f[8].parse().unwrap_or(0),
                 edge_cut: f[9].parse().unwrap_or(0),
-                migrations: f[10].parse().unwrap_or(0),
-                out_of_memory: f[11] == "true",
-                block_activations: f[12].parse().unwrap_or(0),
-                ops_executed: f[13].parse().unwrap_or(0),
+                connectivity_cut: f[10].parse().unwrap_or(0),
+                replicated_gates: f[11].parse().unwrap_or(0),
+                messages_saved: f[12].parse().unwrap_or(0),
+                migrations: f[13].parse().unwrap_or(0),
+                out_of_memory: f[14] == "true",
+                block_activations: f[15].parse().unwrap_or(0),
+                ops_executed: f[16].parse().unwrap_or(0),
                 telemetry: None,
             };
             self.cells.insert((m.circuit.clone(), m.strategy.clone(), m.nodes), m);
@@ -224,7 +227,7 @@ impl Grid {
     fn save_cache(&self) {
         let mut text = format!("# {}\n", Self::config_fingerprint(&self.cfg));
         text.push_str(
-            "circuit,strategy,nodes,exec_time_s,app_messages,rollbacks,events_committed,events_processed,remote_antis,edge_cut,migrations,out_of_memory,block_activations,ops_executed\n",
+            "circuit,strategy,nodes,exec_time_s,app_messages,rollbacks,events_committed,events_processed,remote_antis,edge_cut,connectivity_cut,replicated_gates,messages_saved,migrations,out_of_memory,block_activations,ops_executed\n",
         );
         let mut rows: Vec<&RunMetrics> = self.cells.values().collect();
         rows.sort_by(|a, b| {
@@ -232,7 +235,7 @@ impl Grid {
         });
         for m in rows {
             text.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 m.circuit,
                 m.strategy,
                 m.nodes,
@@ -243,6 +246,9 @@ impl Grid {
                 m.events_processed,
                 m.remote_antis,
                 m.edge_cut,
+                m.connectivity_cut,
+                m.replicated_gates,
+                m.messages_saved,
                 m.migrations,
                 m.out_of_memory,
                 m.block_activations,

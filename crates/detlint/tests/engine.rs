@@ -99,6 +99,36 @@ fn compiled_engine_is_kernel_tier() {
 }
 
 #[test]
+fn replication_modules_are_kernel_tier() {
+    // Scope regression for the hypergraph/replication subsystem: replica
+    // planning decides *which* gates are duplicated, and replica
+    // evaluation runs inside LP rollback scope — a nondeterministic plan
+    // or replica sweep would silently break fingerprint parity with the
+    // unreplicated oracle. Every kernel-tier rule (D001–D008) must stay
+    // active on each of these modules; none may drift to the relaxed
+    // tests/examples tier.
+    for path in [
+        "crates/partition/src/replicate.rs",
+        "crates/partition/src/metrics.rs",
+        "crates/partition/src/incremental.rs",
+        "crates/netlist/src/generate.rs",
+        "crates/gatesim/src/model.rs",
+        "crates/gatesim/src/experiment.rs",
+        "crates/timewarp/src/stats.rs",
+    ] {
+        let rules = rules_for(path).unwrap_or_else(|| panic!("{path} fell out of scope"));
+        assert_eq!(
+            rules.len(),
+            RuleId::ALL.len(),
+            "{path} must carry the full kernel-tier catalog, got {rules:?}"
+        );
+        for rule in RuleId::ALL {
+            assert!(rules.contains(&rule), "{rule:?} must apply to {path}");
+        }
+    }
+}
+
+#[test]
 fn d005_positive_fixture_fires() {
     let r = run_fixture(include_str!("fixtures/d005_bad.rs"));
     assert_eq!(fired_lines(&r, RuleId::D005), vec![3]);

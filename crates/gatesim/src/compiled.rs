@@ -229,8 +229,6 @@ struct Block {
     stims: Vec<Stim>,
     /// Packed operand slot refs for all ops.
     args: Vec<u16>,
-    /// Netlist gate behind each owned slot (fingerprint reassembly).
-    gate_ids: Vec<GateId>,
     /// Per slot (owned + ports): combinational ops reading it.
     comb_readers: Jagged<u16>,
     /// Per slot (owned + ports): DFFs whose D input reads it.
@@ -242,6 +240,14 @@ struct Block {
     has_internal: Vec<u64>,
     /// Bitset over owned slots: has at least one outgoing route.
     has_routes: Vec<u64>,
+    /// Bitset over owned slots: slot is a replica of a gate homed in
+    /// another block (never routed, never fingerprinted; each change
+    /// counts one elided boundary update).
+    is_replica: Vec<u64>,
+    /// A home-member gate of this block — carries the block's part
+    /// identity for [`CompiledSim::lp_assignment`] (replica slots may
+    /// precede it in slot order).
+    home_gate: GateId,
     ncomb: u32,
     num_ports: u32,
     /// Distinct element delays in this block (= agenda buckets).
@@ -375,12 +381,19 @@ pub struct CompiledSim {
     owner: Vec<Owner>,
     /// Value-fold tables for the sweep (built from `pls_logic` operators).
     tabs: EvalTabs,
+    /// Total replica slots fused across all blocks.
+    num_replicas: u64,
 }
 
 impl CompiledSim {
     /// Compile a netlist into per-block instruction buffers. `blocks`
     /// maps each gate to a block id (`None` = one block); empty blocks
-    /// are skipped.
+    /// are skipped. Each `(gate, block)` pair in `replicas` fuses a copy
+    /// of the gate into the consuming block: in-block readers read the
+    /// copy's slot instead of a port, so the home block's route to that
+    /// block (and the port itself) disappears. Replica slots carry their
+    /// own trace hash but are never owned — fingerprints hash home
+    /// copies only.
     pub(crate) fn compile(
         netlist: &Netlist,
         delay_model: DelayModel,
@@ -388,21 +401,46 @@ impl CompiledSim {
         clock_period: u64,
         end_time: u64,
         blocks: Option<&[u32]>,
+        replicas: &[(GateId, u32)],
     ) -> CompiledSim {
         let n = netlist.len();
         if let Some(map) = blocks {
             assert_eq!(map.len(), n, "block map must cover every gate");
         }
+        assert!(
+            replicas.is_empty() || blocks.is_some(),
+            "replication requires a block map (a single fused block has no boundary)"
+        );
         let part_of = |g: GateId| blocks.map_or(0, |m| m[g as usize]);
+
+        // Replica targets per gate, ascending block id.
+        let mut replica_into: BTreeMap<GateId, Vec<u32>> = BTreeMap::new();
+        for &(g, q) in replicas {
+            assert!(!netlist.is_dff(g), "DFFs cannot be replicated");
+            assert_ne!(part_of(g), q, "replica must land in a foreign block");
+            let row = replica_into.entry(g).or_default();
+            assert!(!row.contains(&q), "duplicate replica pair");
+            row.push(q);
+        }
+        for row in replica_into.values_mut() {
+            row.sort_unstable();
+        }
 
         // Group gates by block id: combinational gates in global
         // topological order (levelize-based), then DFFs and primary
-        // inputs each in ascending gate id.
+        // inputs each in ascending gate id. A replicated gate joins every
+        // target block's list too (restricting one global topological
+        // order keeps each block's comb list topological).
         type Members = (Vec<GateId>, Vec<GateId>, Vec<GateId>);
         let mut by_part: BTreeMap<u32, Members> = BTreeMap::new();
         for g in topo_order(netlist) {
             if !netlist.is_input(g) && !netlist.is_dff(g) {
                 by_part.entry(part_of(g)).or_default().0.push(g);
+                if let Some(qs) = replica_into.get(&g) {
+                    for &q in qs {
+                        by_part.entry(q).or_default().0.push(g);
+                    }
+                }
             }
         }
         for id in netlist.ids() {
@@ -410,35 +448,57 @@ impl CompiledSim {
                 by_part.entry(part_of(id)).or_default().1.push(id);
             } else if netlist.is_input(id) {
                 by_part.entry(part_of(id)).or_default().2.push(id);
+                if let Some(qs) = replica_into.get(&id) {
+                    for &q in qs {
+                        by_part.entry(q).or_default().2.push(id);
+                    }
+                }
             }
         }
+        let part_ids: Vec<u32> = by_part.keys().copied().collect();
         let block_gates: Vec<Members> = by_part.into_values().collect();
         let members = |m: &Members| {
             m.0.iter().chain(m.1.iter()).chain(m.2.iter()).copied().collect::<Vec<_>>()
         };
 
+        // Ownership (fingerprint identity) stays with the home block; a
+        // gate's slots in other blocks are replicas.
         let mut owner: Vec<Option<Owner>> = vec![None; n];
         for (b, m) in block_gates.iter().enumerate() {
             for (i, g) in members(m).into_iter().enumerate() {
-                owner[g as usize] = Some(Owner { block: b as u32, slot: i as u32 });
+                if part_of(g) == part_ids[b] {
+                    owner[g as usize] = Some(Owner { block: b as u32, slot: i as u32 });
+                }
             }
         }
         let owner: Vec<Owner> = owner.into_iter().map(|o| o.expect("every gate owned")).collect();
 
-        // Port tables: the external drivers feeding each block, one port
-        // per driver (not per reading pin), in ascending gate-id order.
-        let mut port_of: Vec<BTreeMap<GateId, u32>> = vec![BTreeMap::new(); block_gates.len()];
+        // Per block: every member gate (home or replica) and its slot.
+        let local_slot: Vec<BTreeMap<GateId, u32>> = block_gates
+            .iter()
+            .map(|m| members(m).into_iter().enumerate().map(|(i, g)| (g, i as u32)).collect())
+            .collect();
+
+        // Which foreign blocks read each gate through a port: the blocks
+        // with a member pin fed by the gate and no local copy of it.
+        let mut reader_blocks: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
         for (b, m) in block_gates.iter().enumerate() {
-            let mut ext: BTreeSet<GateId> = BTreeSet::new();
             for g in members(m) {
                 for &d in netlist.fanin(g) {
-                    if owner[d as usize].block != b as u32 {
-                        ext.insert(d);
+                    if !local_slot[b].contains_key(&d) {
+                        reader_blocks[d as usize].insert(b as u32);
                     }
                 }
             }
-            for (i, d) in ext.into_iter().enumerate() {
-                port_of[b].insert(d, i as u32);
+        }
+
+        // Port tables: the external drivers feeding each block, one port
+        // per driver (not per reading pin), in ascending gate-id order.
+        let mut port_of: Vec<BTreeMap<GateId, u32>> = vec![BTreeMap::new(); block_gates.len()];
+        for (d, readers) in reader_blocks.iter().enumerate() {
+            for &b in readers {
+                let next = port_of[b as usize].len() as u32;
+                port_of[b as usize].insert(d as GateId, next);
             }
         }
 
@@ -456,11 +516,9 @@ impl CompiledSim {
             let total_slots = owned + port_of[b].len();
             assert!(total_slots <= 1 << 16, "compiled block exceeds 65536 value slots");
             let slot_of = |d: GateId| -> u16 {
-                let o = owner[d as usize];
-                if o.block == b as u32 {
-                    o.slot as u16
-                } else {
-                    (owned as u32 + port_of[b][&d]) as u16
+                match local_slot[b].get(&d) {
+                    Some(&s) => s as u16,
+                    None => (owned as u32 + port_of[b][&d]) as u16,
                 }
             };
             let lower_delay = |kind: GateKind, arity: usize| -> u16 {
@@ -517,17 +575,31 @@ impl CompiledSim {
                     Stim { input_index: input_index[g as usize], delay, bucket: bucket_of(delay) }
                 })
                 .collect();
+            // Replica slots and the block's home identity. Blocks are
+            // created by home members, so a home gate always exists.
+            let all_members = members(m);
+            let mut is_replica = vec![0u64; owned.div_ceil(64)];
+            for (i, &g) in all_members.iter().enumerate() {
+                if part_of(g) != part_ids[b] {
+                    is_replica[i >> 6] |= 1u64 << (i & 63);
+                }
+            }
+            let home_gate = *all_members
+                .iter()
+                .find(|&&g| part_of(g) == part_ids[b])
+                .expect("block has a home gate");
             built.push(Block {
                 ops,
                 dffs: dff_tab,
                 stims: stim_tab,
                 args,
-                gate_ids: members(m),
                 comb_readers: Jagged::from_rows(comb_rows),
                 dff_readers: Jagged::from_rows(dff_rows),
                 routes: Jagged::from_rows(vec![Vec::new(); owned]),
                 has_internal: Vec::new(),
                 has_routes: Vec::new(),
+                is_replica,
+                home_gate,
                 ncomb: ncomb as u32,
                 num_ports: port_of[b].len() as u32,
                 num_buckets: delays.len() as u8,
@@ -536,28 +608,25 @@ impl CompiledSim {
             });
         }
 
-        // Routing: for every gate, which foreign blocks read its output?
-        // Exactly one port update per (driver, reading block).
-        let mut reader_blocks: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-        for id in netlist.ids() {
-            let block = owner[id as usize].block;
-            for &d in netlist.fanin(id) {
-                if owner[d as usize].block != block {
-                    reader_blocks[d as usize].insert(block);
-                }
-            }
-        }
+        // Routing: one port update per (driver, reading block), from the
+        // driver's HOME slot only — replica slots serve in-block readers
+        // and never route (routing them would double-deliver).
         for (b, m) in block_gates.iter().enumerate() {
             let owned_gates = members(m);
             let mut dst_set: BTreeSet<u32> = BTreeSet::new();
             for &g in &owned_gates {
-                dst_set.extend(reader_blocks[g as usize].iter().copied());
+                if part_of(g) == part_ids[b] {
+                    dst_set.extend(reader_blocks[g as usize].iter().copied());
+                }
             }
             let dsts: Vec<u32> = dst_set.into_iter().collect();
             assert!(dsts.len() <= 1 << 16, "compiled block routes to more than 65536 blocks");
             let rows: Vec<Vec<Route>> = owned_gates
                 .iter()
                 .map(|&g| {
+                    if part_of(g) != part_ids[b] {
+                        return Vec::new();
+                    }
                     reader_blocks[g as usize]
                         .iter()
                         .map(|&blk| Route {
@@ -591,6 +660,7 @@ impl CompiledSim {
             tick: TickCfg::new(stim.period, clock_period, end_time),
             owner,
             tabs: EvalTabs::build(),
+            num_replicas: replicas.len() as u64,
         }
     }
 
@@ -613,6 +683,11 @@ impl CompiledSim {
     /// Number of netlist gates behind this model.
     pub fn num_gates(&self) -> usize {
         self.owner.len()
+    }
+
+    /// Total replica slots fused across all blocks.
+    pub fn num_replicas(&self) -> u64 {
+        self.num_replicas
     }
 
     /// The configured simulation horizon.
@@ -648,6 +723,9 @@ impl CompiledSim {
         let ndffs = b.dffs.len();
         let owned = ncomb + ndffs + b.stims.len();
         let mut work = 0u64;
+        // Boundary port updates elided by replication: each change of a
+        // replica slot is one update the home block no longer sends here.
+        let mut saved = 0u64;
 
         // 1. Sample DFFs whose armed edge is due — *before* any same-time
         //    update becomes visible (register semantics, identical to
@@ -689,6 +767,7 @@ impl CompiledSim {
                     let eff = now.after(u64::from(s.delay));
                     state.hashes[slot] = fnv_step(state.hashes[slot], eff, v);
                     self.publish(b, state, slot, eff, s.bucket, v);
+                    saved += (b.is_replica[slot >> 6] >> (slot & 63)) & 1;
                 }
             }
         }
@@ -772,10 +851,14 @@ impl CompiledSim {
                     let eff = now.after(u64::from(op.delay));
                     state.hashes[ix] = fnv_step(state.hashes[ix], eff, acc);
                     self.publish(b, state, ix, eff, op.meta >> 4, acc);
+                    saved += (b.is_replica[ix >> 6] >> (ix & 63)) & 1;
                 }
             }
         }
         sink.note_ops(work);
+        if saved > 0 {
+            sink.note_messages_saved(saved);
+        }
 
         // 6. Flush the outbox: every touched (destination, delay) row
         //    becomes ONE kernel message carrying all of its port updates.
@@ -858,10 +941,11 @@ impl CompiledSim {
     }
 
     /// Project a gate-level partition assignment onto LPs: a block LP
-    /// takes the part of its first fused gate — identical for every gate
-    /// when the block map came from the same partitioning.
+    /// takes the part of a home-member gate — identical for every home
+    /// gate when the block map came from the same partitioning. (Replica
+    /// slots are skipped: their gates are homed elsewhere.)
     pub fn lp_assignment(&self, gate_parts: &[u32]) -> Vec<u32> {
         assert_eq!(gate_parts.len(), self.owner.len(), "assignment must cover every gate");
-        self.blocks.iter().map(|b| gate_parts[b.gate_ids[0] as usize]).collect()
+        self.blocks.iter().map(|b| gate_parts[b.home_gate as usize]).collect()
     }
 }

@@ -10,7 +10,7 @@
 
 use pls_logic::{DelayModel, StimulusConfig};
 use pls_netlist::Netlist;
-use pls_partition::{CircuitGraph, Partitioner, Partitioning};
+use pls_partition::{plan_replication, CircuitGraph, Partitioner, Partitioning, ReplicationConfig};
 use pls_timewarp::{
     platform::sequential_modeled_time_s, Backend, DynLbConfig, PlatformConfig, SimError, Simulator,
     TimeSeries,
@@ -41,6 +41,10 @@ pub struct SimConfig {
     /// Execution engine. With [`ExecModel::CompiledBlocks`] and no
     /// explicit block map, [`Cell`] derives one block per partition part.
     pub exec: ExecModel,
+    /// Logic replication: `Some` plans bounded gate duplication against
+    /// the run's partitioning (`pls_partition::plan_replication`) and
+    /// applies it to the built model; `None` runs unreplicated.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for SimConfig {
@@ -53,6 +57,7 @@ impl Default for SimConfig {
             platform: PlatformConfig::default(),
             dynlb: None,
             exec: ExecModel::GatePerLp,
+            replication: None,
         }
     }
 }
@@ -67,6 +72,42 @@ impl SimConfig {
             .end_time(self.end_time)
             .exec(self.exec.clone())
             .build()
+    }
+
+    /// Build the application against a finished partitioning: in
+    /// compiled mode without an explicit block map, blocks are derived
+    /// from the partitioning (one block per part); with
+    /// [`Self::replication`] set, a replica plan is made against the
+    /// partitioning and applied to the model. This is the construction
+    /// path [`Cell::run_with`] uses.
+    pub fn build_app_partitioned(
+        &self,
+        netlist: &Netlist,
+        graph: &CircuitGraph,
+        partitioning: &Partitioning,
+    ) -> GateModel {
+        let plan_pairs: Vec<(u32, u32)> = match &self.replication {
+            Some(rc) => plan_replication(graph, partitioning, rc).pairs(),
+            None => Vec::new(),
+        };
+        let exec = match &self.exec {
+            ExecModel::CompiledBlocks(opts) if opts.blocks.is_none() => {
+                ExecModel::CompiledBlocks(CompileOptions {
+                    blocks: Some(partitioning.assignment.clone()),
+                })
+            }
+            e => e.clone(),
+        };
+        let mut builder = GateSimBuilder::new(netlist)
+            .delay(self.delay)
+            .stimulus(self.stim)
+            .clock_period(self.clock_period)
+            .end_time(self.end_time)
+            .exec(exec);
+        if !plan_pairs.is_empty() {
+            builder = builder.replicate(&partitioning.assignment, &plan_pairs);
+        }
+        builder.build()
     }
 
     /// Build the bare gate-per-LP engine regardless of [`Self::exec`] —
@@ -110,6 +151,14 @@ pub struct RunMetrics {
     pub remote_antis: u64,
     /// Edge cut of the partition used.
     pub edge_cut: u64,
+    /// Connectivity (λ−1) cut of the partition used — the hypergraph
+    /// metric matching compiled-mode bundled messages.
+    pub connectivity_cut: u64,
+    /// Gate replicas materialised by logic replication (0 when
+    /// [`SimConfig::replication`] is off).
+    pub replicated_gates: u64,
+    /// Boundary messages elided by replicas during the run.
+    pub messages_saved: u64,
     /// LPs migrated by dynamic load balancing (0 with a static placement).
     pub migrations: u64,
     /// Whether the run died with the per-node memory limit exceeded
@@ -218,21 +267,15 @@ impl<'a> Cell<'a> {
 
     /// Run with a precomputed partitioning. In compiled mode without an
     /// explicit block map, blocks are derived from this partitioning (one
-    /// block per part), so fused cones coincide with node placement.
+    /// block per part), so fused cones coincide with node placement. With
+    /// [`SimConfig::replication`] set, a replica plan is made against
+    /// this partitioning and applied to the model.
     pub fn run_with(self, partitioning: &Partitioning, strategy_name: &str) -> RunMetrics {
         assert!(partitioning.is_valid_for(self.graph));
-        let app = match &self.cfg.exec {
-            ExecModel::CompiledBlocks(opts) if opts.blocks.is_none() => {
-                let mut cfg = self.cfg.clone();
-                cfg.exec = ExecModel::CompiledBlocks(CompileOptions {
-                    blocks: Some(partitioning.assignment.clone()),
-                });
-                cfg.build_app(self.netlist)
-            }
-            _ => self.cfg.build_app(self.netlist),
-        };
+        let app = self.cfg.build_app_partitioned(self.netlist, self.graph, partitioning);
         let assignment = app.lp_assignment(&partitioning.assignment);
         let edge_cut = pls_partition::metrics::edge_cut(self.graph, partitioning);
+        let connectivity_cut = pls_partition::metrics::connectivity_cut(self.graph, partitioning);
         let mut sim = Simulator::new(&app).platform_config(&self.cfg.platform);
         if let Some(w) = self.bucket {
             sim = sim.record(w);
@@ -268,6 +311,9 @@ impl<'a> Cell<'a> {
                     ops_executed: res.stats.ops_executed,
                     remote_antis: res.stats.anti_messages_remote,
                     edge_cut,
+                    connectivity_cut,
+                    replicated_gates: res.stats.replicated_gates,
+                    messages_saved: res.stats.messages_saved,
                     migrations: res.stats.migrations,
                     out_of_memory: false,
                     telemetry: res.telemetry,
@@ -286,6 +332,9 @@ impl<'a> Cell<'a> {
                 ops_executed: 0,
                 remote_antis: 0,
                 edge_cut,
+                connectivity_cut,
+                replicated_gates: 0,
+                messages_saved: 0,
                 migrations: 0,
                 out_of_memory: true,
                 telemetry: None,

@@ -27,9 +27,29 @@
 //! its fused blocks (same streams, same sampling and emission times,
 //! same trace-hash folds), so committed fingerprints are byte-identical
 //! between the modes — this file is the semantic reference.
+//!
+//! # Logic replication (gate-per-LP)
+//!
+//! A replica plan from `pls-partition` duplicates small high-fanout
+//! combinational gates (and primary inputs) into the parts that read
+//! them. Here each planned `(gate, part)` pair becomes an extra LP with
+//! id `num_gates + i`: it has the same kind, delay and fanin shape as
+//! its home gate, receives the same fanin transitions at the same
+//! virtual times (its pins are registered as readers of the home
+//! drivers — or of their same-part replicas), and therefore produces
+//! the identical output waveform. Readers whose part holds a replica of
+//! their driver are rewired to the replica, so the home copy's remote
+//! messages to that part disappear; every replica emission declares the
+//! elided sends via [`EventSink::note_messages_saved`]. Committed
+//! fingerprints hash only the first `num_gates` states, so replication
+//! is invisible to the determinism oracle. Replica LPs pin themselves
+//! against dynamic load balancing ([`Application::pinned_lps`]):
+//! migrating one would reintroduce the boundary traffic it removes.
+
+use std::collections::BTreeMap;
 
 use pls_logic::{eval_gate, DelayModel, InputStream, StimulusConfig, Value};
-use pls_netlist::{GateKind, Netlist};
+use pls_netlist::{GateId, GateKind, Netlist};
 use pls_timewarp::{Application, EventSink, LpId, VTime};
 
 /// A signal-change or self-schedule message.
@@ -281,21 +301,14 @@ pub struct GateSim {
     input_index: Vec<Option<u32>>,
     /// Self-tick cadence and horizon.
     tick: TickCfg,
+    /// Netlist gates (LPs `num_gates..` are replicas).
+    num_gates: usize,
+    /// Target part of each replica LP, in replica-id order (for
+    /// [`Self::lp_assignment`]).
+    replica_parts: Vec<u32>,
 }
 
 impl GateSim {
-    /// Build the simulation model for a netlist.
-    #[deprecated(since = "0.6.0", note = "use `GateSimBuilder` (see `crate::GateSimBuilder`)")]
-    pub fn new(
-        netlist: &Netlist,
-        delay_model: DelayModel,
-        stim: StimulusConfig,
-        clock_period: u64,
-        end_time: u64,
-    ) -> GateSim {
-        GateSim::from_parts(netlist, delay_model, stim, clock_period, end_time)
-    }
-
     pub(crate) fn from_parts(
         netlist: &Netlist,
         delay_model: DelayModel,
@@ -327,6 +340,78 @@ impl GateSim {
             stim,
             input_index,
             tick,
+            num_gates: n,
+            replica_parts: Vec::new(),
+        }
+    }
+
+    /// Build the model with a replica plan applied: each `(gate, part)`
+    /// pair becomes one extra replica LP (id `num_gates + i`), readers in
+    /// `part` are rewired to it, and its own pins read the home drivers —
+    /// or their same-part replicas, so replicated cones stay local.
+    pub(crate) fn from_parts_replicated(
+        netlist: &Netlist,
+        delay_model: DelayModel,
+        stim: StimulusConfig,
+        clock_period: u64,
+        end_time: u64,
+        gate_parts: &[u32],
+        replicas: &[(GateId, u32)],
+    ) -> GateSim {
+        let base = GateSim::from_parts(netlist, delay_model, stim, clock_period, end_time);
+        if replicas.is_empty() {
+            return base;
+        }
+        let n = netlist.len();
+        assert_eq!(gate_parts.len(), n, "gate parts must cover every gate");
+        let replica_lp: BTreeMap<(GateId, u32), LpId> =
+            replicas.iter().enumerate().map(|(i, &(g, q))| ((g, q), (n + i) as LpId)).collect();
+        assert_eq!(replica_lp.len(), replicas.len(), "replica pairs must be distinct");
+        for &(g, q) in replicas {
+            assert!(!netlist.is_dff(g), "DFFs cannot be replicated");
+            assert_ne!(gate_parts[g as usize], q, "replica must land in a foreign part");
+        }
+
+        let mut readers: Vec<Vec<(LpId, u8)>> = vec![Vec::new(); n + replicas.len()];
+        // Home edges, rewired to a local replica of the driver when the
+        // plan placed one in the reader's part.
+        for id in netlist.ids() {
+            for (pin, &driver) in netlist.fanin(id).iter().enumerate() {
+                let src =
+                    replica_lp.get(&(driver, gate_parts[id as usize])).copied().unwrap_or(driver);
+                readers[src as usize].push((id, pin as u8));
+            }
+        }
+        // Replica fanin imports: same drivers as the home gate, preferring
+        // a same-part replica of each driver (cone extension).
+        for (i, &(g, q)) in replicas.iter().enumerate() {
+            let lp = (n + i) as LpId;
+            for (pin, &driver) in netlist.fanin(g).iter().enumerate() {
+                let src = replica_lp.get(&(driver, q)).copied().unwrap_or(driver);
+                readers[src as usize].push((lp, pin as u8));
+            }
+        }
+
+        let mut kinds = base.kinds;
+        let mut fanin_len = base.fanin_len;
+        let mut delay = base.delay;
+        let mut input_index = base.input_index;
+        for &(g, _) in replicas {
+            kinds.push(kinds[g as usize]);
+            fanin_len.push(fanin_len[g as usize]);
+            delay.push(delay[g as usize]);
+            input_index.push(input_index[g as usize]);
+        }
+        GateSim {
+            kinds,
+            readers,
+            fanin_len,
+            delay,
+            stim: base.stim,
+            input_index,
+            tick: base.tick,
+            num_gates: n,
+            replica_parts: replicas.iter().map(|&(_, q)| q).collect(),
         }
     }
 
@@ -343,6 +428,20 @@ impl GateSim {
     /// Transport delay of an LP's gate.
     pub fn delay_of(&self, lp: LpId) -> u64 {
         self.delay[lp as usize]
+    }
+
+    /// Number of netlist gates (LPs beyond this are replicas).
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Project a per-gate part assignment onto all LPs: gates keep their
+    /// part, each replica LP goes to its target part.
+    pub fn lp_assignment(&self, gate_parts: &[u32]) -> Vec<u32> {
+        assert_eq!(gate_parts.len(), self.num_gates, "assignment must cover every gate");
+        let mut v = gate_parts.to_vec();
+        v.extend_from_slice(&self.replica_parts);
+        v
     }
 }
 
@@ -378,9 +477,15 @@ impl Application for GateSim {
         let kind = self.kinds[lp as usize];
         let delay = self.delay[lp as usize];
         let readers = &self.readers[lp as usize];
+        // A replica emission means the home copy's remote sends to this
+        // part never happen: one elided boundary message per reader pin.
+        let is_replica = (lp as usize) >= self.num_gates;
         let mut send_out = |v: Value, sink: &mut EventSink<GateMsg>| {
             for &(reader, pin) in readers {
                 sink.schedule(reader, delay, GateMsg::Wire { pin, value: v });
+            }
+            if is_replica {
+                sink.note_messages_saved(readers.len() as u64);
             }
         };
         match kind {
@@ -407,6 +512,14 @@ impl Application for GateSim {
                 }
             }
         }
+    }
+
+    fn replicated_units(&self) -> u64 {
+        (self.kinds.len() - self.num_gates) as u64
+    }
+
+    fn pinned_lps(&self) -> Vec<LpId> {
+        (self.num_gates as LpId..self.kinds.len() as LpId).collect()
     }
 }
 

@@ -25,7 +25,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use pls_logic::{DelayModel, StimulusConfig};
-use pls_netlist::Netlist;
+use pls_netlist::{GateId, Netlist};
 use pls_timewarp::{Application, EventSink, LpId, VTime};
 
 use crate::compiled::{BlockState, CompileOptions, CompiledSim};
@@ -100,6 +100,8 @@ pub struct GateSimBuilder<'a> {
     clock_period: u64,
     end_time: u64,
     exec: ExecModel,
+    gate_parts: Option<Vec<u32>>,
+    replicas: Vec<(GateId, u32)>,
 }
 
 impl<'a> GateSimBuilder<'a> {
@@ -112,6 +114,8 @@ impl<'a> GateSimBuilder<'a> {
             clock_period: 10,
             end_time: 400,
             exec: ExecModel::default(),
+            gate_parts: None,
+            replicas: Vec::new(),
         }
     }
 
@@ -145,24 +149,64 @@ impl<'a> GateSimBuilder<'a> {
         self
     }
 
+    /// Apply a logic-replication plan: `gate_parts` is each gate's home
+    /// part and `replicas` the planned `(gate, part)` duplications (e.g.
+    /// from `pls_partition::plan_replication`). In gate-per-LP mode each
+    /// replica becomes an extra pinned LP in its target part; in
+    /// compiled mode it is fused into the consuming block. Committed
+    /// fingerprints are unchanged — replicas are never hashed.
+    pub fn replicate(mut self, gate_parts: &[u32], replicas: &[(GateId, u32)]) -> Self {
+        self.gate_parts = Some(gate_parts.to_vec());
+        self.replicas = replicas.to_vec();
+        self
+    }
+
     /// Build the model for the configured [`ExecModel`].
     pub fn build(self) -> GateModel {
         match self.exec {
-            ExecModel::GatePerLp => GateModel::PerGate(GateSim::from_parts(
-                self.netlist,
-                self.delay,
-                self.stim,
-                self.clock_period,
-                self.end_time,
-            )),
-            ExecModel::CompiledBlocks(opts) => GateModel::Compiled(CompiledSim::compile(
-                self.netlist,
-                self.delay,
-                self.stim,
-                self.clock_period,
-                self.end_time,
-                opts.blocks.as_deref(),
-            )),
+            ExecModel::GatePerLp => {
+                if self.replicas.is_empty() {
+                    GateModel::PerGate(GateSim::from_parts(
+                        self.netlist,
+                        self.delay,
+                        self.stim,
+                        self.clock_period,
+                        self.end_time,
+                    ))
+                } else {
+                    let parts =
+                        self.gate_parts.as_deref().expect("replicate() always records gate parts");
+                    GateModel::PerGate(GateSim::from_parts_replicated(
+                        self.netlist,
+                        self.delay,
+                        self.stim,
+                        self.clock_period,
+                        self.end_time,
+                        parts,
+                        &self.replicas,
+                    ))
+                }
+            }
+            ExecModel::CompiledBlocks(opts) => {
+                // Replication needs a block boundary; with no explicit
+                // block map, the partition the plan was made for is it.
+                let blocks = opts.blocks.or_else(|| {
+                    if self.replicas.is_empty() {
+                        None
+                    } else {
+                        self.gate_parts.clone()
+                    }
+                });
+                GateModel::Compiled(CompiledSim::compile(
+                    self.netlist,
+                    self.delay,
+                    self.stim,
+                    self.clock_period,
+                    self.end_time,
+                    blocks.as_deref(),
+                    &self.replicas,
+                ))
+            }
         }
     }
 
@@ -224,10 +268,11 @@ impl GateModel {
         }
     }
 
-    /// Number of netlist gates behind the model (= LPs in gate mode).
+    /// Number of netlist gates behind the model (LPs beyond this, in
+    /// gate mode, are replicas).
     pub fn num_gates(&self) -> usize {
         match self {
-            GateModel::PerGate(sim) => sim.num_lps(),
+            GateModel::PerGate(sim) => sim.num_gates(),
             GateModel::Compiled(c) => c.num_gates(),
         }
     }
@@ -242,11 +287,13 @@ impl GateModel {
 
     /// Fingerprint of a run: every *gate's* committed output-transition
     /// hash, in netlist gate-id order — byte-identical across execution
-    /// modes and executives for the same workload.
+    /// modes and executives for the same workload, with or without a
+    /// replica plan (replica states/slots are never hashed).
     pub fn fingerprint(&self, states: &[ModelState]) -> Vec<u64> {
         match self {
-            GateModel::PerGate(_) => states
+            GateModel::PerGate(sim) => states
                 .iter()
+                .take(sim.num_gates())
                 .map(|s| s.as_gate().expect("gate mode has per-gate states").trace_hash)
                 .collect(),
             GateModel::Compiled(c) => c.fingerprint(states),
@@ -255,9 +302,10 @@ impl GateModel {
 
     /// Project a gate-level partition assignment (one part per netlist
     /// gate) onto this model's LPs, for `Backend::Platform`/`Threaded`.
+    /// Replica LPs (gate mode) land in their target part.
     pub fn lp_assignment(&self, gate_parts: &[u32]) -> Vec<u32> {
         match self {
-            GateModel::PerGate(_) => gate_parts.to_vec(),
+            GateModel::PerGate(sim) => sim.lp_assignment(gate_parts),
             GateModel::Compiled(c) => c.lp_assignment(gate_parts),
         }
     }
@@ -311,5 +359,116 @@ impl Application for GateModel {
                 unreachable!("compiled mode has only block states")
             }
         }
+    }
+
+    fn replicated_units(&self) -> u64 {
+        match self {
+            GateModel::PerGate(sim) => sim.replicated_units(),
+            GateModel::Compiled(c) => c.num_replicas(),
+        }
+    }
+
+    fn pinned_lps(&self) -> Vec<LpId> {
+        match self {
+            // Replica LPs must not migrate away from the part they serve.
+            GateModel::PerGate(sim) => sim.pinned_lps(),
+            // Compiled replicas ride inside their block LP; a migrating
+            // block carries them along, so nothing needs pinning.
+            GateModel::Compiled(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pls_netlist::IscasSynth;
+    use pls_partition::{
+        plan_replication, CircuitGraph, Partitioner, RandomPartitioner, ReplicationConfig,
+    };
+    use pls_timewarp::{Backend, Simulator};
+
+    /// A workload with cut hub nets, its partitioning, and a non-empty plan.
+    /// Random partitioning guarantees plenty of profitable candidates.
+    fn replicated_setup() -> (Netlist, Vec<u32>, Vec<(GateId, u32)>) {
+        let netlist = IscasSynth::small(300, 5).build();
+        let g = CircuitGraph::from_netlist(&netlist);
+        let p = RandomPartitioner.partition(&g, 4, 0);
+        let plan = plan_replication(&g, &p, &ReplicationConfig::default());
+        assert!(!plan.is_empty(), "hub nets must attract replicas");
+        (netlist, p.assignment.clone(), plan.pairs())
+    }
+
+    #[test]
+    fn replicated_models_match_the_unreplicated_oracle_in_both_modes() {
+        let (netlist, parts, pairs) = replicated_setup();
+        let base = GateSimBuilder::new(&netlist).end_time(200).build();
+        let oracle = {
+            let r = Simulator::new(&base).run(Backend::Sequential).unwrap();
+            base.fingerprint(&r.states)
+        };
+        let execs = [
+            ExecModel::GatePerLp,
+            ExecModel::CompiledBlocks(CompileOptions { blocks: Some(parts.clone()) }),
+        ];
+        for exec in execs {
+            let app = GateSimBuilder::new(&netlist)
+                .end_time(200)
+                .exec(exec)
+                .replicate(&parts, &pairs)
+                .build();
+            assert_eq!(app.replicated_units(), pairs.len() as u64);
+            let r = Simulator::new(&app).run(Backend::Sequential).unwrap();
+            assert_eq!(
+                app.fingerprint(&r.states),
+                oracle,
+                "{} replicated run diverged from the unreplicated oracle",
+                app.exec_name()
+            );
+            assert_eq!(r.stats.replicated_gates, app.replicated_units());
+            assert!(r.stats.messages_saved > 0, "{}: replicas never fired", app.exec_name());
+        }
+    }
+
+    #[test]
+    fn replica_lps_are_pinned_and_assigned_to_their_target_part() {
+        let (netlist, parts, pairs) = replicated_setup();
+        let app = GateSimBuilder::new(&netlist).end_time(100).replicate(&parts, &pairs).build();
+        let n = netlist.len();
+        assert_eq!(app.num_lps(), n + pairs.len());
+        assert_eq!(app.num_gates(), n);
+        let pinned = app.pinned_lps();
+        assert_eq!(pinned, (n as LpId..(n + pairs.len()) as LpId).collect::<Vec<_>>());
+        let asg = app.lp_assignment(&parts);
+        for (i, &(_, q)) in pairs.iter().enumerate() {
+            assert_eq!(asg[n + i], q, "replica {i} must live in its target part");
+        }
+        // Compiled mode fuses replicas: no extra LPs, nothing pinned.
+        let compiled = GateSimBuilder::new(&netlist)
+            .end_time(100)
+            .exec(ExecModel::CompiledBlocks(CompileOptions { blocks: Some(parts.clone()) }))
+            .replicate(&parts, &pairs)
+            .build();
+        assert!(compiled.pinned_lps().is_empty());
+        assert_eq!(compiled.lp_assignment(&parts).len(), compiled.num_lps());
+    }
+
+    #[test]
+    fn input_replicas_replay_the_same_stimulus_stream() {
+        use pls_netlist::bench_format::parse;
+        // A primary input read by two gates placed in a foreign part.
+        let netlist =
+            parse("fan", "INPUT(A)\nOUTPUT(B)\nOUTPUT(C)\nB = NOT(A)\nC = BUFF(A)\n").unwrap();
+        let a = netlist.find("A").unwrap();
+        let parts = vec![0u32, 1, 1];
+        let base = GateSimBuilder::new(&netlist).end_time(200).build();
+        let oracle = {
+            let r = Simulator::new(&base).run(Backend::Sequential).unwrap();
+            base.fingerprint(&r.states)
+        };
+        let app = GateSimBuilder::new(&netlist).end_time(200).replicate(&parts, &[(a, 1)]).build();
+        let r = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        assert_eq!(app.fingerprint(&r.states), oracle);
+        assert!(r.stats.messages_saved > 0);
     }
 }

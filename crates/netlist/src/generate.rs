@@ -295,6 +295,130 @@ impl IscasSynth {
     }
 }
 
+/// Clock-tree-heavy synthetic circuit: a root enable input fans out
+/// through a radix-`radix` buffer broadcast tree to `leaves` leaf
+/// buffers, and every leaf gates a local cluster of combinational
+/// logic plus a few flip-flops. Each leaf buffer is read by all
+/// `cluster` gates of its cluster, so the circuit is dominated by
+/// medium-fanout hub nets — the worst case for edge-cut partitioners
+/// and the best case for logic replication: duplicating one buffer
+/// into a consumer part removes `cluster`-scale remote traffic at the
+/// cost of a single imported pin.
+///
+/// Generation is fully deterministic given the seed.
+#[derive(Debug, Clone)]
+pub struct ClockTreeSynth {
+    /// Circuit name (used in reports and file output).
+    pub name: String,
+    /// Number of leaf buffers in the broadcast tree.
+    pub leaves: usize,
+    /// Branching factor of the buffer tree (≥ 2).
+    pub radix: usize,
+    /// Combinational gates per leaf cluster (each reads its leaf).
+    pub cluster: usize,
+    /// Flip-flops per leaf cluster (fed by deep cluster gates).
+    pub dffs_per_leaf: usize,
+    /// Shared data inputs, read round-robin across clusters.
+    pub data_inputs: usize,
+    /// RNG seed; same seed ⇒ identical circuit.
+    pub seed: u64,
+}
+
+impl ClockTreeSynth {
+    /// The profile used by the kernel benchmark scenarios: 16 leaves on
+    /// a radix-4 tree, 60-gate clusters, ~1k gates total.
+    pub fn platform_demo() -> Self {
+        ClockTreeSynth {
+            name: "clocktree16x60".to_string(),
+            leaves: 16,
+            radix: 4,
+            cluster: 60,
+            dffs_per_leaf: 4,
+            data_inputs: 8,
+            seed: 0xC10C_7EE5,
+        }
+    }
+
+    /// A small profile for tests, deterministic for a given seed.
+    pub fn small(seed: u64) -> Self {
+        ClockTreeSynth {
+            name: "clocktree4x12".to_string(),
+            leaves: 4,
+            radix: 2,
+            cluster: 12,
+            dffs_per_leaf: 2,
+            data_inputs: 4,
+            seed,
+        }
+    }
+
+    /// Generate the circuit. Panics only on impossible profiles.
+    pub fn build(&self) -> Netlist {
+        assert!(self.leaves > 0 && self.radix >= 2 && self.cluster >= 2 && self.data_inputs > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = NetlistBuilder::new(self.name.clone());
+
+        // Root enable plus shared data inputs.
+        let root = b.add_input("CLK").unwrap();
+        let data: Vec<GateId> =
+            (0..self.data_inputs).map(|i| b.add_input(format!("PI{i}")).unwrap()).collect();
+
+        // Broadcast tree: expand the frontier by `radix` until it can
+        // cover all leaves, then emit exactly `leaves` leaf buffers.
+        let mut frontier = vec![root];
+        let mut level = 0usize;
+        while frontier.len() < self.leaves {
+            let want = (frontier.len() * self.radix).min(self.leaves.max(frontier.len() + 1));
+            let next: Vec<GateId> = (0..want)
+                .map(|i| {
+                    let parent = frontier[i % frontier.len()];
+                    b.add_gate(format!("CT{level}_{i}"), GateKind::Buf, vec![parent]).unwrap()
+                })
+                .collect();
+            frontier = next;
+            level += 1;
+        }
+        let leaf_bufs = frontier;
+
+        // Per-leaf clusters: DFFs first (placeholder D, wired at the
+        // end) so their outputs join the local driver pool, then the
+        // combinational gates. Every gate reads its leaf buffer on pin
+        // 0 — the clock-gating pattern that makes leaves hubs.
+        let mut resolved = Vec::new();
+        for (li, &leaf) in leaf_bufs.iter().enumerate() {
+            let ffs: Vec<GateId> = (0..self.dffs_per_leaf)
+                .map(|i| b.add_gate(format!("FF{li}_{i}"), GateKind::Dff, vec![0]).unwrap())
+                .collect();
+            let mut local: Vec<GateId> = ffs.clone();
+            local.push(data[li % data.len()]);
+            for gi in 0..self.cluster {
+                let kind = match rng.gen_range(0..100) {
+                    0..=39 => GateKind::And,
+                    40..=69 => GateKind::Nand,
+                    70..=84 => GateKind::Or,
+                    _ => GateKind::Xor,
+                };
+                let mut fanin = vec![leaf];
+                fanin.push(local[rng.gen_range(0..local.len())]);
+                if rng.gen_bool(0.3) {
+                    fanin.push(local[rng.gen_range(0..local.len())]);
+                }
+                let id = b.add_gate(format!("C{li}_{gi}"), kind, fanin).unwrap();
+                local.push(id);
+            }
+            // Feedback: each DFF samples one of the deepest cluster gates.
+            let deep = &local[local.len() - self.cluster / 2..];
+            for &ff in &ffs {
+                resolved.push((ff, vec![deep[rng.gen_range(0..deep.len())]]));
+            }
+            // The last cluster gate is the cluster's observable output.
+            b.mark_output(*local.last().unwrap());
+        }
+        b.set_fanins(resolved);
+        b.build().expect("generator must produce a valid netlist")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +503,38 @@ mod tests {
         for gates in [10, 33, 100, 250] {
             let n = IscasSynth::small(gates, 3).build();
             assert_eq!(n.num_logic_gates() - n.dffs().len(), gates);
+        }
+    }
+
+    #[test]
+    fn clock_tree_is_deterministic_and_hub_heavy() {
+        let a = ClockTreeSynth::small(9).build();
+        let b = ClockTreeSynth::small(9).build();
+        for id in a.ids() {
+            assert_eq!(a.gate(id), b.gate(id));
+        }
+        let synth = ClockTreeSynth::platform_demo();
+        let n = synth.build();
+        assert_eq!(n.inputs().len(), 1 + synth.data_inputs);
+        assert_eq!(n.outputs().len(), synth.leaves);
+        assert_eq!(n.dffs().len(), synth.leaves * synth.dffs_per_leaf);
+        // Every leaf buffer fans out to its whole cluster.
+        let stats = CircuitStats::of(&n);
+        assert!(
+            stats.max_fanout >= synth.cluster,
+            "leaf hubs missing, max fanout {}",
+            stats.max_fanout
+        );
+        let hubs = n.ids().filter(|&g| n.fanout(g).len() >= synth.cluster).count();
+        assert!(hubs >= synth.leaves, "expected one hub per leaf, got {hubs}");
+    }
+
+    #[test]
+    fn clock_tree_dffs_sample_cluster_logic() {
+        let n = ClockTreeSynth::small(3).build();
+        for &ff in n.dffs() {
+            let d = n.fanin(ff)[0];
+            assert!(!n.is_input(d) && !n.is_dff(d), "DFF D pin must read comb logic");
         }
     }
 }

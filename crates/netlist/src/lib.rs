@@ -44,7 +44,7 @@ pub mod traverse;
 
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
-pub use generate::IscasSynth;
+pub use generate::{ClockTreeSynth, IscasSynth};
 pub use levelize::{levelize, topo_order, Levelization};
 pub use netlist::{Netlist, NetlistBuilder};
 pub use stats::CircuitStats;

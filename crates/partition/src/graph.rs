@@ -25,6 +25,12 @@ pub struct CircuitGraph {
     /// Whether the vertex contains a primary input of the original circuit
     /// (the multilevel "input globule" property).
     is_input: Vec<bool>,
+    /// Whether the vertex may be duplicated by the logic-replication pass.
+    /// Sequential elements (DFFs) are excluded: a replica would need its
+    /// own clocking history, so only combinational gates and primary
+    /// inputs (which replay the same deterministic stimulus stream) are
+    /// safe to copy.
+    replicable: Vec<bool>,
     /// Topological level of each vertex. Present on graphs built from a
     /// netlist; `None` on coarsened graphs (levels are meaningless there).
     level: Option<Vec<u32>>,
@@ -56,12 +62,14 @@ impl CircuitGraph {
         }
         let lv = levelize(netlist);
         let is_input = netlist.ids().map(|g| netlist.is_input(g)).collect();
+        let replicable = netlist.ids().map(|g| !netlist.is_dff(g)).collect();
         CircuitGraph {
             name: netlist.name().to_string(),
             vweight: vec![1; n],
             fanout,
             fanin,
             is_input,
+            replicable,
             level: Some(lv.level),
             total_weight: n as u64,
         }
@@ -84,7 +92,27 @@ impl CircuitGraph {
             }
         }
         let total_weight = vweight.iter().sum();
-        CircuitGraph { name, vweight, fanout, fanin, is_input, level: None, total_weight }
+        let replicable = vec![true; n];
+        CircuitGraph {
+            name,
+            vweight,
+            fanout,
+            fanin,
+            is_input,
+            replicable,
+            level: None,
+            total_weight,
+        }
+    }
+
+    /// Override the per-vertex replication eligibility (see
+    /// [`Self::is_replicable`]). Graphs built with [`Self::from_parts`]
+    /// default to all-replicable; tests and coarseners use this to model
+    /// sequential elements.
+    pub fn with_replicable(mut self, replicable: Vec<bool>) -> CircuitGraph {
+        assert_eq!(replicable.len(), self.len());
+        self.replicable = replicable;
+        self
     }
 
     /// Graph name.
@@ -138,6 +166,14 @@ impl CircuitGraph {
     /// Whether the vertex contains a primary input.
     pub fn is_input(&self, v: VertexId) -> bool {
         self.is_input[v as usize]
+    }
+
+    /// Whether the logic-replication pass may duplicate this vertex into
+    /// other parts. False for sequential elements (DFFs) on graphs built
+    /// from a netlist; coarse graphs default to `true` (replication only
+    /// runs at the finest level).
+    pub fn is_replicable(&self, v: VertexId) -> bool {
+        self.replicable[v as usize]
     }
 
     /// Ids of all input vertices, ascending.

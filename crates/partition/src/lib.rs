@@ -33,6 +33,7 @@ pub mod metrics;
 pub mod multilevel;
 pub mod partitioning;
 pub mod refiners;
+pub mod replicate;
 pub mod util;
 
 pub use baselines::{
@@ -43,6 +44,10 @@ pub use graph::{CircuitGraph, VertexId};
 pub use multilevel::schemes::CoarsenScheme;
 pub use multilevel::{MultilevelConfig, MultilevelPartitioner, MultilevelReport};
 pub use partitioning::Partitioning;
+pub use replicate::{
+    plan_replication, PartitionConfig, Replica, ReplicaPlan, ReplicatedPartitioner,
+    ReplicationConfig,
+};
 
 /// A circuit partitioning strategy: split a weighted circuit graph into
 /// `k` parts. Implementations must be deterministic given `(g, k, seed)`.
@@ -55,9 +60,12 @@ pub trait Partitioner {
     fn partition(&self, g: &CircuitGraph, k: usize, seed: u64) -> Partitioning;
 }
 
-/// All six strategies of the study, in the paper's presentation order
-/// (Table 2 column order: Random, DFS, Cluster, Topological, Multilevel,
-/// Cone).
+/// All registered strategies: the six of the study in the paper's
+/// presentation order (Table 2 column order: Random, DFS, Cluster,
+/// Topological, Multilevel, Cone), plus the replication-aware extension
+/// (multilevel followed by the bounded logic-replication pass — through
+/// this registry it yields the underlying partitioning; use
+/// [`ReplicatedPartitioner::partition_with_replicas`] for the plan).
 pub fn all_partitioners() -> Vec<Box<dyn Partitioner + Send + Sync>> {
     vec![
         Box::new(RandomPartitioner),
@@ -66,6 +74,7 @@ pub fn all_partitioners() -> Vec<Box<dyn Partitioner + Send + Sync>> {
         Box::new(TopologicalPartitioner),
         Box::new(MultilevelPartitioner::default()),
         Box::new(ConePartitioner),
+        Box::new(ReplicatedPartitioner::default()),
     ]
 }
 
@@ -85,13 +94,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_six_strategies() {
+    fn registry_has_seven_strategies() {
         let all = all_partitioners();
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 7);
         let names: Vec<&str> = all.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec!["Random", "DFS", "Cluster", "Topological", "Multilevel", "ConePartition"]
+            vec![
+                "Random",
+                "DFS",
+                "Cluster",
+                "Topological",
+                "Multilevel",
+                "ConePartition",
+                "Replicated"
+            ]
         );
     }
 
@@ -106,6 +123,7 @@ mod tests {
     fn lookup_by_name() {
         assert!(partitioner_by_name("multilevel").is_some());
         assert!(partitioner_by_name("Random").is_some());
+        assert!(partitioner_by_name("replicated").is_some());
         assert!(partitioner_by_name("metis").is_none());
     }
 }

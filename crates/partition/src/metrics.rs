@@ -1,10 +1,26 @@
-//! Partition quality metrics: edge cut, load imbalance and concurrency.
+//! Partition quality metrics: edge cut, hyperedge (net) cut, load
+//! imbalance and concurrency.
 //!
 //! The paper evaluates partitions indirectly through simulation behaviour
 //! (execution time, message counts, rollbacks); these static metrics are
 //! the analytical proxies it discusses — cut-set size drives
 //! inter-processor communication, imbalance drives idling, and per-level
 //! partition spread drives exploitable concurrency.
+//!
+//! # Graph vs hypergraph cut
+//!
+//! A driver net is really one *hyperedge* `{v} ∪ fanout(v)`: the plain
+//! edge cut counts a net crossing k parts k times, while the simulator
+//! pays per (destination part, toggle). The two hypergraph metrics map
+//! exactly onto the two gatesim execution modes:
+//!
+//! - [`edge_cut`] (directed crossing edge weight, weight = pin count) is
+//!   the remote message count per toggle in gate-per-LP mode — one `Wire`
+//!   message per (reader, pin);
+//! - [`connectivity_cut`] (Σ per net of λ−1, where λ is the number of
+//!   parts the net touches) is the bundled message count per toggle in
+//!   compiled-block mode — one `Ports` update per (driver, external
+//!   reading block).
 
 use crate::graph::CircuitGraph;
 use crate::partitioning::Partitioning;
@@ -23,6 +39,91 @@ pub fn edge_cut(g: &CircuitGraph, p: &Partitioning) -> u64 {
         }
     }
     cut
+}
+
+/// Number of distinct parts touched by the driver net of `v` — the
+/// hypergraph connectivity λ of the hyperedge `{v} ∪ fanout(v)`. Zero for
+/// vertices that drive nothing (no hyperedge).
+fn net_lambda(g: &CircuitGraph, p: &Partitioning, v: crate::graph::VertexId) -> u32 {
+    if g.fanout(v).is_empty() {
+        return 0;
+    }
+    let mut seen = 0u64; // parts fit in a bitset for k ≤ 64; fall back below
+    let mut extra: Vec<u32> = Vec::new();
+    let mut lambda = 0u32;
+    let mut mark = |part: u32| {
+        if part < 64 {
+            if seen & (1 << part) == 0 {
+                seen |= 1 << part;
+                lambda += 1;
+            }
+        } else if !extra.contains(&part) {
+            extra.push(part);
+            lambda += 1;
+        }
+    };
+    mark(p.part(v));
+    for &(r, _) in g.fanout(v) {
+        mark(p.part(r));
+    }
+    lambda
+}
+
+/// Connectivity-1 cut: `Σ over driver nets of (λ − 1)` with unit net
+/// weight, where λ is the number of distinct parts the net `{v} ∪
+/// fanout(v)` touches. This is the exact number of bundled boundary
+/// messages per driver toggle in compiled-block mode, and the standard
+/// hypergraph-partitioning objective (the "(λ−1) metric").
+pub fn connectivity_cut(g: &CircuitGraph, p: &Partitioning) -> u64 {
+    let mut cut = 0u64;
+    for v in g.vertices() {
+        cut += net_lambda(g, p, v).saturating_sub(1) as u64;
+    }
+    cut
+}
+
+/// Number of cut nets: driver nets whose pins span more than one part
+/// (λ ≥ 2). The coarsest hyperedge metric — insensitive to *how many*
+/// parts a net touches, so it complements [`connectivity_cut`].
+pub fn cut_nets(g: &CircuitGraph, p: &Partitioning) -> u64 {
+    let mut cut = 0u64;
+    for v in g.vertices() {
+        if net_lambda(g, p, v) >= 2 {
+            cut += 1;
+        }
+    }
+    cut
+}
+
+/// External degree of each part: the number of nets with at least one pin
+/// inside the part and at least one pin outside it. A part's external
+/// degree counts the distinct nets it must exchange boundary traffic on;
+/// `Σ external_degree == Σ over cut nets of λ` (each cut net contributes
+/// once per part it touches).
+pub fn external_degree(g: &CircuitGraph, p: &Partitioning) -> Vec<u64> {
+    let mut deg = vec![0u64; p.k];
+    let mut touched: Vec<u32> = Vec::new();
+    for v in g.vertices() {
+        if g.fanout(v).is_empty() {
+            continue;
+        }
+        touched.clear();
+        let mut push = |part: u32| {
+            if !touched.contains(&part) {
+                touched.push(part);
+            }
+        };
+        push(p.part(v));
+        for &(r, _) in g.fanout(v) {
+            push(p.part(r));
+        }
+        if touched.len() >= 2 {
+            for &part in &touched {
+                deg[part as usize] += 1;
+            }
+        }
+    }
+    deg
 }
 
 /// Load imbalance: `max_load / (total_weight / k)`. 1.0 is perfect.
@@ -75,6 +176,10 @@ pub fn concurrency(g: &CircuitGraph, p: &Partitioning) -> f64 {
 pub struct QualityReport {
     /// See [`edge_cut`].
     pub edge_cut: u64,
+    /// See [`connectivity_cut`] (the hypergraph λ−1 objective).
+    pub connectivity_cut: u64,
+    /// See [`cut_nets`].
+    pub cut_nets: u64,
     /// See [`imbalance`].
     pub imbalance: f64,
     /// See [`concurrency`] (`None` when the graph has no levels).
@@ -85,6 +190,8 @@ pub struct QualityReport {
 pub fn quality(g: &CircuitGraph, p: &Partitioning) -> QualityReport {
     QualityReport {
         edge_cut: edge_cut(g, p),
+        connectivity_cut: connectivity_cut(g, p),
+        cut_nets: cut_nets(g, p),
         imbalance: imbalance(g, p),
         concurrency: g.has_levels().then(|| concurrency(g, p)),
     }
@@ -149,6 +256,57 @@ mod tests {
         let p = Partitioning::new(2, vec![0, 0, 1, 1]);
         let q = quality(&g, &p);
         assert_eq!(q.edge_cut, 1);
+        assert_eq!(q.connectivity_cut, 1);
+        assert_eq!(q.cut_nets, 1);
         assert!(q.concurrency.is_some());
+    }
+
+    /// A star net: one driver feeding four readers. One hyperedge of five
+    /// pins — the plain edge cut overcounts exactly as the module docs
+    /// describe.
+    fn star_graph() -> CircuitGraph {
+        CircuitGraph::from_parts(
+            "star".into(),
+            vec![1; 5],
+            vec![vec![(1, 1), (2, 1), (3, 1), (4, 1)], vec![], vec![], vec![], vec![]],
+            vec![true, false, false, false, false],
+        )
+    }
+
+    #[test]
+    fn connectivity_counts_each_net_once_per_external_part() {
+        let g = star_graph();
+        // Driver with two readers in part 1 and two in part 2: λ = 3.
+        let p = Partitioning::new(3, vec![0, 1, 1, 2, 2]);
+        assert_eq!(edge_cut(&g, &p), 4); // four crossing edges
+        assert_eq!(connectivity_cut(&g, &p), 2); // but only two destination parts
+        assert_eq!(cut_nets(&g, &p), 1);
+        assert_eq!(external_degree(&g, &p), vec![1, 1, 1]);
+        // Everything together: no cut at all.
+        let p0 = Partitioning::new(3, vec![0; 5]);
+        assert_eq!(connectivity_cut(&g, &p0), 0);
+        assert_eq!(cut_nets(&g, &p0), 0);
+        assert_eq!(external_degree(&g, &p0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn connectivity_equals_edge_cut_on_fanout_one_nets() {
+        // Every net has exactly one reader (unit weight), so λ−1 per net
+        // and crossing-edge weight coincide for any assignment.
+        let g = chain_graph();
+        for asg in [vec![0, 0, 1, 1], vec![0, 1, 0, 1], vec![1, 1, 1, 1], vec![1, 0, 0, 1]] {
+            let p = Partitioning::new(2, asg);
+            assert_eq!(connectivity_cut(&g, &p), edge_cut(&g, &p));
+        }
+    }
+
+    #[test]
+    fn external_degree_sums_to_lambda_over_cut_nets() {
+        let g = star_graph();
+        let p = Partitioning::new(3, vec![0, 1, 1, 2, 2]);
+        let total: u64 = external_degree(&g, &p).iter().sum();
+        // One cut net with λ = 3.
+        assert_eq!(total, 3);
+        assert_eq!(total, connectivity_cut(&g, &p) + cut_nets(&g, &p));
     }
 }

@@ -10,6 +10,18 @@
 //! Gains count signal weight in *both* directions (fanout and fanin): an
 //! edge crossing a partition boundary costs a message whichever way it
 //! points.
+//!
+//! On top of the edge gain, the refiner is *hyperedge-aware*: each driver
+//! net `{d} ∪ fanout(d)` is one hyperedge, and a move also changes the
+//! connectivity-1 objective (`Σ (λ−1)`, see
+//! [`crate::metrics::connectivity_cut`]) — pulling the last pin of a net
+//! out of a part drops λ, pushing the first pin into a new part raises
+//! it. The λ gain ranks moves *within* the edge-gain classes
+//! ([`GreedyConfig::hyperedge_factor`]): the edge gain stays primary and
+//! a move is only taken when it does not increase the edge cut, so the
+//! classic invariant (cut never increases) is preserved while ties break
+//! toward fewer distinct boundary nets — exactly what the compiled-block
+//! engine's bundled messages reward.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -27,6 +39,10 @@ pub struct GreedyConfig {
     /// Maximum iterations (passes); the paper observes convergence "in a
     /// few iterations", so the default is small.
     pub max_iters: usize,
+    /// Weight of the hyperedge (λ−1) gain relative to one unit of edge
+    /// gain when ranking equal-edge-gain moves; `0` disables hyperedge
+    /// awareness and restores the pure edge-gain refiner.
+    pub hyperedge_factor: u32,
 }
 
 impl Default for GreedyConfig {
@@ -34,7 +50,7 @@ impl Default for GreedyConfig {
         // A tight balance bound matters more than the last few cut points:
         // the makespan of an optimistic simulation tracks the most-loaded
         // node directly, so 3% slack beats the customary 10%.
-        GreedyConfig { balance_eps: 0.03, max_iters: 8 }
+        GreedyConfig { balance_eps: 0.03, max_iters: 8, hyperedge_factor: 1 }
     }
 }
 
@@ -60,6 +76,54 @@ fn connectivity(g: &CircuitGraph, p: &Partitioning, v: VertexId, conn: &mut [u64
     }
 }
 
+/// Per-part pin counts of every hyperedge incident to `v` (the net `v`
+/// drives plus the net of each fanin), *excluding `v` itself* — the
+/// residual counts that decide how moving `v` changes each net's λ.
+/// Reuses `scratch` rows to avoid per-vertex allocation.
+fn incident_net_counts(
+    g: &CircuitGraph,
+    p: &Partitioning,
+    v: VertexId,
+    k: usize,
+    scratch: &mut Vec<Vec<u32>>,
+) -> usize {
+    let mut nets = 0usize;
+    let fill = |d: VertexId, scratch: &mut Vec<Vec<u32>>, nets: &mut usize| {
+        if *nets == scratch.len() {
+            scratch.push(vec![0u32; k]);
+        }
+        let row = &mut scratch[*nets];
+        row.iter_mut().for_each(|c| *c = 0);
+        if d != v {
+            row[p.part(d) as usize] += 1;
+        }
+        for &(r, _) in g.fanout(d) {
+            if r != v {
+                row[p.part(r) as usize] += 1;
+            }
+        }
+        *nets += 1;
+    };
+    if !g.fanout(v).is_empty() {
+        fill(v, scratch, &mut nets);
+    }
+    for &(u, _) in g.fanin(v) {
+        fill(u, scratch, &mut nets);
+    }
+    nets
+}
+
+/// Change in `Σ (λ−1)` from moving `v` (currently in `from`) to `to`,
+/// positive = improvement: a net whose only `from` pin was `v` leaves the
+/// part (λ−1), a net with no `to` pin yet gains one (λ+1).
+fn lambda_gain(net_counts: &[Vec<u32>], nets: usize, from: u32, to: u32) -> i64 {
+    let mut gain = 0i64;
+    for row in net_counts.iter().take(nets) {
+        gain += (row[from as usize] == 0) as i64 - (row[to as usize] == 0) as i64;
+    }
+    gain
+}
+
 /// Run greedy k-way refinement in place. Returns statistics.
 pub fn greedy_refine(
     g: &CircuitGraph,
@@ -75,8 +139,12 @@ pub fn greedy_refine(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<VertexId> = g.vertices().collect();
     let mut conn = vec![0u64; k];
+    let mut net_scratch: Vec<Vec<u32>> = Vec::new();
     let mut moves = 0usize;
     let mut iters = 0usize;
+    // λ gains are bounded by the number of incident nets (≤ fanin + 1),
+    // far below this scale, so edge gain stays strictly primary.
+    const EDGE_SCALE: i64 = 1 << 20;
 
     for _ in 0..cfg.max_iters {
         iters += 1;
@@ -87,8 +155,14 @@ pub fn greedy_refine(
         for &v in &order {
             let from = p.part(v);
             connectivity(g, p, v, &mut conn);
-            // Best target by gain = conn[to] - conn[from].
-            let mut best: Option<(u32, i64)> = None;
+            let nets = if cfg.hyperedge_factor > 0 {
+                incident_net_counts(g, p, v, k, &mut net_scratch)
+            } else {
+                0
+            };
+            // Best target by edge gain = conn[to] - conn[from], with the
+            // hyperedge (λ) gain ranking within an edge-gain class.
+            let mut best: Option<(u32, i64, i64)> = None;
             for to in 0..k as u32 {
                 if to == from {
                     continue;
@@ -96,20 +170,24 @@ pub fn greedy_refine(
                 if conn[to as usize] == 0 {
                     continue; // moving to a non-adjacent partition never reduces cut
                 }
-                let gain = conn[to as usize] as i64 - conn[from as usize] as i64;
+                let egain = conn[to as usize] as i64 - conn[from as usize] as i64;
                 let feasible = loads[to as usize] + g.vweight(v) <= lmax;
                 if !feasible {
                     continue;
                 }
+                let ranked = egain * EDGE_SCALE
+                    + cfg.hyperedge_factor as i64 * lambda_gain(&net_scratch, nets, from, to);
                 match best {
-                    Some((bt, bg))
-                        if gain < bg
-                            || (gain == bg && loads[to as usize] >= loads[bt as usize]) => {}
-                    _ => best = Some((to, gain)),
+                    Some((bt, _, br))
+                        if ranked < br
+                            || (ranked == br && loads[to as usize] >= loads[bt as usize]) => {}
+                    _ => best = Some((to, egain, ranked)),
                 }
             }
-            if let Some((to, gain)) = best {
-                if gain > 0 {
+            if let Some((to, egain, ranked)) = best {
+                // Never increase the edge cut; a zero-edge-gain move is
+                // taken only when it strictly improves connectivity.
+                if egain > 0 || (egain == 0 && ranked > 0) {
                     loads[from as usize] -= g.vweight(v);
                     loads[to as usize] += g.vweight(v);
                     p.set(v, to);
@@ -241,6 +319,41 @@ mod tests {
         let stats = greedy_refine(&g, &mut p, &GreedyConfig::default(), 0);
         assert_eq!(stats.cut_after, 0);
         assert_eq!(p.assignment, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn hyperedge_awareness_breaks_ties_toward_fewer_cut_nets() {
+        // Vertex 1 ("v") reads driver 0 ("h", part 0) and driver 2 ("g",
+        // part 1), so moving v to part 1 has zero edge gain (one crossing
+        // edge either way) — but v is g's net's *last* pin in part 0, so
+        // the move drops that net's λ. Every other vertex is pinned: h and
+        // g see equal connectivity both ways, y (vertex 4) is blocked by
+        // the balance bound thanks to the weight-4 ballast (vertex 5), and
+        // z (vertex 3) has no foreign neighbour.
+        let mut fanout: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); 6];
+        fanout[0] = vec![(1, 1), (4, 1)]; // h drives v and y
+        fanout[2] = vec![(1, 1), (3, 1)]; // g drives v and z
+        let g = CircuitGraph::from_parts(
+            "tie".into(),
+            vec![1, 1, 1, 1, 1, 4],
+            fanout,
+            vec![true, false, true, false, false, false],
+        );
+        use crate::metrics::connectivity_cut;
+        let asg = vec![0, 0, 1, 1, 1, 0];
+        let mut with = Partitioning::new(2, asg.clone());
+        let mut without = Partitioning::new(2, asg);
+        let cfg_on = GreedyConfig { balance_eps: 0.2, ..Default::default() };
+        let cfg_off = GreedyConfig { hyperedge_factor: 0, ..cfg_on };
+        greedy_refine(&g, &mut with, &cfg_on, 1);
+        greedy_refine(&g, &mut without, &cfg_off, 1);
+        // The edge-only refiner finds no strict edge gain anywhere and
+        // leaves both nets cut; the hyperedge-aware one consolidates.
+        assert_eq!(edge_cut(&g, &without), 2);
+        assert_eq!(connectivity_cut(&g, &without), 2);
+        assert!(connectivity_cut(&g, &with) < 2, "λ should drop via zero-edge-gain moves");
+        // And never at the price of edge cut.
+        assert!(edge_cut(&g, &with) <= edge_cut(&g, &without));
     }
 
     #[test]

@@ -63,7 +63,21 @@ pub fn matching_round(
         });
         let partner = match scheme {
             CoarsenScheme::HeavyEdge => {
-                candidates.max_by_key(|&(w, ew)| (ew, std::cmp::Reverse(w))).map(|(w, _)| w)
+                // Hyperedge-aware rating: beyond raw edge weight, prefer a
+                // partner whose merge *absorbs* a whole driver net (the
+                // net's only reader is the other endpoint) — absorbed nets
+                // can never be cut at coarser levels, which is what the
+                // λ−1 objective rewards. The paper's Fanout scheme gets
+                // this for free by contracting entire fanout sets.
+                candidates
+                    .max_by_key(|&(w, ew)| {
+                        let absorbs = (g.fanout(v).len() == 1
+                            && g.fanout(v).first().is_some_and(|&(r, _)| r == w))
+                            || (g.fanout(w).len() == 1
+                                && g.fanout(w).first().is_some_and(|&(r, _)| r == v));
+                        (ew + absorbs as u64, std::cmp::Reverse(w))
+                    })
+                    .map(|(w, _)| w)
             }
             CoarsenScheme::Random => {
                 let all: Vec<VertexId> = candidates.map(|(w, _)| w).collect();

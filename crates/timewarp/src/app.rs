@@ -31,6 +31,10 @@ pub struct AppWork {
     pub activations: u64,
     /// Fine-grained operations (e.g. compiled gate evaluations) performed.
     pub ops: u64,
+    /// Boundary messages elided by logic replication this batch (a
+    /// replica toggled, so its home copy's remote sends to this part
+    /// never happen). Folded into `KernelStats::messages_saved`.
+    pub saved: u64,
 }
 
 /// Buffer through which an LP schedules new events during `execute`.
@@ -118,6 +122,15 @@ impl<M> EventSink<M> {
         self.work.ops += n;
     }
 
+    /// Declare `n` boundary messages elided by logic replication this
+    /// batch (a replica evaluated locally instead of its home copy
+    /// sending across the cut). Folded into
+    /// `KernelStats::messages_saved` under the same accounting rules as
+    /// [`Self::note_block_activation`].
+    pub fn note_messages_saved(&mut self, n: u64) {
+        self.work.saved += n;
+    }
+
     /// Number of events scheduled so far in this call.
     pub fn len(&self) -> usize {
         self.out.len()
@@ -166,6 +179,21 @@ pub trait Application: Send + Sync + 'static {
         msgs: &[(LpId, Self::Msg)],
         sink: &mut EventSink<Self::Msg>,
     );
+
+    /// Number of replicated gates (or other duplicated units) this model
+    /// materialised — a static per-run property recorded into
+    /// `KernelStats::replicated_gates` at startup. Default: none.
+    fn replicated_units(&self) -> u64 {
+        0
+    }
+
+    /// LPs the dynamic load balancer must never migrate. Replica LPs pin
+    /// themselves here: their whole value is residing in the part that
+    /// reads them, so migrating one would reintroduce the boundary
+    /// messages it exists to remove. Default: none.
+    fn pinned_lps(&self) -> Vec<LpId> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -454,6 +454,7 @@ impl<A: Application> LpRuntime<A> {
         if work != crate::app::AppWork::default() {
             stats.block_activations += work.activations;
             stats.ops_executed += work.ops;
+            stats.messages_saved += work.saved;
             probe.app_work(self.id, now, work.activations, work.ops);
         }
         self.lvt = now;

@@ -146,8 +146,18 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
     }
     let mut tracker = dynlb.as_ref().map(|_| WindowTracker::new(app.num_lps()));
 
-    let mut stats = KernelStats::default();
+    let mut stats =
+        KernelStats { replicated_gates: app.replicated_units(), ..KernelStats::default() };
     let mut outbox: Vec<Transmission<A::Msg>> = Vec::new();
+
+    // LPs the model forbids migrating (replica LPs: moving one would
+    // reintroduce the boundary traffic it exists to remove).
+    let mut pinned = vec![false; app.num_lps()];
+    for lp in app.pinned_lps() {
+        if let Some(slot) = pinned.get_mut(lp as usize) {
+            *slot = true;
+        }
+    }
 
     // Build LPs, collecting init events.
     let mut init_events = Vec::new();
@@ -369,7 +379,7 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
             // Migration traffic goes through the same network cost model as
             // application messages, so its price shows up in modeled time.
             if let Some(lb) = dynlb.as_deref_mut() {
-                if !gvt.is_inf() && stats.gvt_rounds % lb.cfg.period.max(1) == 0 {
+                if !gvt.is_inf() && stats.gvt_rounds.is_multiple_of(lb.cfg.period.max(1)) {
                     let tr = tracker.as_mut().expect("tracker exists when balancing");
                     let mut window = WindowStats::new(lps.len());
                     window.gvt = gvt;
@@ -381,7 +391,7 @@ pub(crate) fn platform_core<A: Application, P: Probe>(
                     window.round = stats.lb_rounds;
                     let plan = lb.balancer.plan(&window, &assignment, nodes, &lb.cfg);
                     for mv in plan {
-                        if !move_is_valid(&mv, &assignment, nodes) {
+                        if !move_is_valid(&mv, &assignment, nodes) || pinned[mv.lp as usize] {
                             continue;
                         }
                         let lp = mv.lp as usize;

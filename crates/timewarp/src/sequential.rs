@@ -25,7 +25,8 @@ type Payloads<M> = IdHashMap<u64, (LpId, VTime, LpId, M)>;
 pub(crate) fn sequential_core<A: Application, P: Probe>(app: &A, probe: &mut P) -> RunReport<A> {
     let n = app.num_lps();
     let mut states: Vec<A::State> = (0..n as LpId).map(|i| app.init_state(i)).collect();
-    let mut stats = KernelStats::default();
+    let mut stats =
+        KernelStats { replicated_gates: app.replicated_units(), ..KernelStats::default() };
     let mut lp_stats: Vec<LpCounters> = vec![LpCounters::default(); n];
 
     // Global queue keyed by (recv_time, dst, src-id) so batch grouping and
@@ -84,6 +85,7 @@ pub(crate) fn sequential_core<A: Application, P: Probe>(app: &A, probe: &mut P) 
         if work != crate::app::AppWork::default() {
             stats.block_activations += work.activations;
             stats.ops_executed += work.ops;
+            stats.messages_saved += work.saved;
             probe.app_work(dst, t, work.activations, work.ops);
         }
         probe.fossil_collected(dst, t, batch.len() as u64);

@@ -71,6 +71,17 @@ pub struct KernelStats {
     /// Modeled bytes of LP closure (current state + checkpoints + pending
     /// events) moved by migrations.
     pub migrated_state_bytes: u64,
+    /// Gate replicas materialised by the application (static per run: the
+    /// extra LPs/ops that exist only to evaluate a copied gate locally;
+    /// see logic replication in `pls-partition`). Zero for models without
+    /// replication.
+    pub replicated_gates: u64,
+    /// Boundary messages elided by logic replication: each time a replica's
+    /// output toggles, the messages its home copy would have sent to that
+    /// part are not sent. Counted under the same processed-work accounting
+    /// as `app_messages` (rolled-back work stays counted, coast-forward
+    /// replays do not).
+    pub messages_saved: u64,
     /// Final GVT (== [`VTime::INF`] on clean termination).
     pub final_gvt: VTime,
     /// High-water mark of total saved states held at once (memory proxy;
@@ -118,6 +129,11 @@ impl KernelStats {
         self.lb_rounds = self.lb_rounds.max(other.lb_rounds);
         self.migrations += other.migrations;
         self.migrated_state_bytes += other.migrated_state_bytes;
+        // The replica population is a static per-run property recorded
+        // identically by every cluster (max); saved messages are counted
+        // where the replica executes (sum).
+        self.replicated_gates = self.replicated_gates.max(other.replicated_gates);
+        self.messages_saved += other.messages_saved;
         self.final_gvt = self.final_gvt.max(other.final_gvt);
         self.state_queue_high_water += other.state_queue_high_water;
     }

@@ -267,10 +267,20 @@ fn cluster_main<A: Application, P: Probe>(
     mut probe: P,
     started: std::time::Instant,
 ) -> ClusterOutcome<A, P> {
-    let mut stats = KernelStats::default();
+    let mut stats =
+        KernelStats { replicated_gates: app.replicated_units(), ..KernelStats::default() };
     let mut outbox: Vec<Transmission<A::Msg>> = Vec::new();
     // Per-destination coalescing buffers, reused across routing passes.
     let mut out_bufs: Vec<TxBatch<A::Msg>> = (0..senders.len()).map(|_| Vec::new()).collect();
+
+    // LPs the model forbids migrating (replica LPs). Every cluster
+    // computes the same set, so plan filtering stays identical everywhere.
+    let mut pinned = vec![false; assignment.len()];
+    for lp in app.pinned_lps() {
+        if let Some(slot) = pinned.get_mut(lp as usize) {
+            *slot = true;
+        }
+    }
 
     // Dynamic load balancing rewrites the routing table at GVT commit;
     // every cluster keeps its own copy and applies the agreed plan to it
@@ -351,7 +361,7 @@ fn cluster_main<A: Application, P: Probe>(
             // barriers below stay matched.
             let mut migrated_in = false;
             if let Some(lbs) = lb {
-                if !gvt.is_inf() && stats.gvt_rounds % lbs.cfg.period.max(1) == 0 {
+                if !gvt.is_inf() && stats.gvt_rounds.is_multiple_of(lbs.cfg.period.max(1)) {
                     let tracker = tracker.as_mut().expect("tracker exists when balancing");
                     // Phase 1: contribute this cluster's slice of the
                     // window (disjoint LP slots; traffic maps add).
@@ -390,7 +400,9 @@ fn cluster_main<A: Application, P: Probe>(
                     {
                         let plan = lbs.plan.lock().unwrap();
                         for mv in plan.iter() {
-                            if !move_is_valid(mv, &assignment, senders.len()) {
+                            if !move_is_valid(mv, &assignment, senders.len())
+                                || pinned[mv.lp as usize]
+                            {
                                 continue;
                             }
                             assignment[mv.lp as usize] = mv.to;

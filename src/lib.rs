@@ -65,12 +65,14 @@ pub mod prelude {
     };
     pub use pls_logic::{eval_gate, DelayModel, StimulusConfig, Value};
     pub use pls_netlist::{
-        bench_format, levelize, CircuitStats, GateId, GateKind, IscasSynth, Netlist, NetlistBuilder,
+        bench_format, levelize, CircuitStats, ClockTreeSynth, GateId, GateKind, IscasSynth,
+        Netlist, NetlistBuilder,
     };
     pub use pls_partition::{
-        all_partitioners, metrics, partitioner_by_name, partitioner_names, CircuitGraph,
-        ClusterPartitioner, ConePartitioner, DfsPartitioner, MultilevelPartitioner, Partitioner,
-        Partitioning, RandomPartitioner, TopologicalPartitioner,
+        all_partitioners, metrics, partitioner_by_name, partitioner_names, plan_replication,
+        CircuitGraph, ClusterPartitioner, ConePartitioner, DfsPartitioner, MultilevelPartitioner,
+        Partitioner, Partitioning, RandomPartitioner, ReplicaPlan, ReplicatedPartitioner,
+        ReplicationConfig, TopologicalPartitioner,
     };
     pub use pls_timewarp::{
         Application, Backend, Cancellation, CostModel, DynLbConfig, EventSink, KernelConfig,

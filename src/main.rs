@@ -33,15 +33,21 @@ parlogsim — multilevel partitioning for parallel logic simulation
 
 USAGE:
   parlogsim stats     <circuit>                       circuit characteristics (Table 1 row)
-  parlogsim generate  <s5378|s9234|s15850|N> [-o F]   synthetic benchmark to .bench
-  parlogsim partition <circuit> [-k K] [-s STRAT]     partition and report quality
+  parlogsim generate  <s5378|s9234|s15850|clocktree|N> [-o F]
+                                                      synthetic benchmark to .bench
+  parlogsim partition <circuit> [-k K] [-s STRAT] [--replicate]
+                                                      partition and report quality
+                                                      (--replicate also plans bounded logic
+                                                       replication and reports the cut it leaves)
   parlogsim simulate  <circuit> [-k K] [-s STRAT] [--end T] [--dynlb]
-                                [--exec MODE] [--trace F [--bucket W]]
+                                [--exec MODE] [--replicate] [--trace F [--bucket W]]
                                                       Time Warp run vs sequential baseline
                                                       (--dynlb migrates LPs at GVT commit;
                                                        --exec gate-per-lp|compiled selects the
-                                                       execution engine; --trace dumps a JSONL
-                                                       telemetry series)
+                                                       execution engine; --replicate duplicates
+                                                       profitable boundary gates into reading
+                                                       parts; --trace dumps a JSONL telemetry
+                                                       series)
   parlogsim trace     <circuit> [-k K] [-s STRAT] [--end T] [--bucket W]
                                 [--format jsonl|csv] [-o F]
                                                       virtual-time telemetry series
@@ -54,7 +60,8 @@ USAGE:
 
   <circuit> is a .bench file path, one of the built-in names
   (s27, c17, s5378, s9234, s15850), or `synth:N` for an N-gate synthetic.
-  STRAT ∈ random|dfs|cluster|topological|multilevel|conepartition (default multilevel).
+  STRAT ∈ random|dfs|cluster|topological|multilevel|conepartition|replicated
+  (default multilevel).
 ";
 
 fn main() {
@@ -188,22 +195,24 @@ fn cmd_stats(rest: &[String]) {
 
 fn cmd_generate(rest: &[String]) {
     let Some(spec) = rest.iter().find(|a| !a.starts_with('-')) else {
-        eprintln!("generate needs a profile (s5378|s9234|s15850|N)");
+        eprintln!("generate needs a profile (s5378|s9234|s15850|clocktree|N)");
         exit(2);
     };
-    let synth = match spec.as_str() {
-        "s5378" => IscasSynth::s5378(),
-        "s9234" => IscasSynth::s9234(),
-        "s15850" => IscasSynth::s15850(),
+    let netlist = match spec.as_str() {
+        "s5378" => IscasSynth::s5378().build(),
+        "s9234" => IscasSynth::s9234().build(),
+        "s15850" => IscasSynth::s15850().build(),
+        "clocktree" => ClockTreeSynth::platform_demo().build(),
         n => match n.parse::<usize>() {
-            Ok(gates) if gates >= 1 => IscasSynth::small(gates, 1),
+            Ok(gates) if gates >= 1 => IscasSynth::small(gates, 1).build(),
             _ => {
-                eprintln!("bad profile `{n}` (need s5378|s9234|s15850 or a gate count >= 1)");
+                eprintln!(
+                    "bad profile `{n}` (need s5378|s9234|s15850|clocktree or a gate count >= 1)"
+                );
                 exit(2);
             }
         },
     };
-    let netlist = synth.build();
     let text = bench_format::write(&netlist);
     match flag(rest, "-o") {
         Some(path) => {
@@ -228,11 +237,23 @@ fn cmd_partition(rest: &[String]) {
     let q = metrics::quality(&graph, &part);
     out!("{} / {} into {k} partitions ({took:?})", netlist.name(), strategy.name());
     out!("edge cut:    {}", q.edge_cut);
+    out!("λ−1 cut:     {}", q.connectivity_cut);
+    out!("cut nets:    {}", q.cut_nets);
     out!("imbalance:   {:.3}", q.imbalance);
     if let Some(c) = q.concurrency {
         out!("concurrency: {c:.2}");
     }
     out!("sizes:       {:?}", part.sizes());
+    if rest.iter().any(|a| a == "--replicate") {
+        let plan = plan_replication(&graph, &part, &ReplicationConfig::default());
+        out!(
+            "replication: {} replicas, cut {} -> {} (est. {} pins/toggle saved)",
+            plan.len(),
+            q.edge_cut,
+            parlogsim::partition::replicate::replicated_edge_cut(&graph, &part, &plan),
+            plan.est_messages_saved
+        );
+    }
 }
 
 /// Parse `--bucket`, defaulting to 1/20th of the horizon (≥ 1).
@@ -269,6 +290,9 @@ fn cmd_simulate(rest: &[String]) {
     if rest.iter().any(|a| a == "--dynlb") {
         cfg.dynlb = Some(DynLbConfig::default());
     }
+    if rest.iter().any(|a| a == "--replicate") {
+        cfg.replication = Some(ReplicationConfig::default());
+    }
     let seq = run_seq_baseline(&netlist, &cfg);
     out!("sequential: {} events, {:.3} modeled s", seq.events, seq.exec_time_s);
     let trace_path = flag(rest, "--trace");
@@ -290,9 +314,14 @@ fn cmd_simulate(rest: &[String]) {
     } else {
         String::new()
     };
+    let rep_note = if m.replicated_gates > 0 {
+        format!(", {} replicas saved {} messages", m.replicated_gates, m.messages_saved)
+    } else {
+        String::new()
+    };
     out!(
         "{} on {k} nodes ({}): {:.3} modeled s ({:.2}x), {} messages, {} rollbacks, \
-         efficiency {:.0}%{}{}",
+         efficiency {:.0}%{}{}{}",
         m.strategy,
         cfg.exec,
         m.exec_time_s,
@@ -301,6 +330,7 @@ fn cmd_simulate(rest: &[String]) {
         m.rollbacks,
         100.0 * m.events_committed as f64 / m.events_processed as f64,
         exec_note,
+        rep_note,
         dynlb_note
     );
     if let Some(path) = trace_path {

@@ -326,6 +326,89 @@ fn compiled_blocks_survive_rollback_and_coast_forward_storms() {
 }
 
 #[test]
+fn replication_is_coherent_across_all_three_executives() {
+    // Logic replication must be semantically invisible: for arbitrary
+    // circuits, partitionings and (aggressive) replica plans, committed
+    // per-gate fingerprints of the replicated model — in gate-per-LP AND
+    // compiled-block mode, on all three executives — must be
+    // byte-identical to the *unreplicated* sequential oracle's. Replicas
+    // only relocate evaluations; they never change the waveform.
+    let mut s = 90u64;
+    let mut total_saved = 0u64;
+    let mut total_replicas = 0u64;
+    for _ in 0..10 {
+        let gates = (40 + mix(&mut s) % 140) as usize;
+        let circuit_seed = mix(&mut s) % 400;
+        let nodes = (2 + mix(&mut s) % 3) as usize;
+
+        let netlist = IscasSynth::small(gates, circuit_seed).build();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        // Random placements leave plenty of cut hub nets for the planner.
+        let part = RandomPartitioner.partition(&graph, nodes, circuit_seed);
+        let cfg = SimConfig { end_time: 80, ..Default::default() };
+        let oracle = cfg.build_app(&netlist);
+        let want =
+            oracle.fingerprint(&Simulator::new(&oracle).run(Backend::Sequential).unwrap().states);
+
+        // Aggressive plan: replicate every profitable gate, free replicas.
+        let mut rcfg = cfg.clone();
+        rcfg.replication = Some(ReplicationConfig {
+            budget_per_part: 96,
+            min_fanout: 1,
+            max_fanin: 5,
+            gate_cost: 0,
+            passes: 3,
+        });
+        let app = rcfg.build_app_partitioned(&netlist, &graph, &part);
+        total_replicas += app.replicated_units();
+
+        let seq = Simulator::new(&app).run(Backend::Sequential).unwrap();
+        assert_eq!(app.fingerprint(&seq.states), want, "sequential replicated diverged");
+
+        // Rollback storm: lazy cancellation + sparse checkpoints + tiny
+        // GVT period, replica LPs placed via the pin-aware lp_assignment.
+        let kernel = KernelConfig {
+            cancellation: Cancellation::Lazy,
+            checkpoint_interval: (3 + mix(&mut s) % 4) as u32,
+            gvt_period: 8,
+            ..Default::default()
+        };
+        let assignment = app.lp_assignment(&part.assignment);
+        let plat = Simulator::new(&app)
+            .config(kernel)
+            .run(Backend::Platform { assignment: &assignment, nodes })
+            .unwrap();
+        assert_eq!(app.fingerprint(&plat.states), want, "platform replicated diverged");
+        assert_eq!(plat.stats.replicated_gates, app.replicated_units());
+        total_saved += plat.stats.messages_saved;
+
+        let thr = Simulator::new(&app)
+            .config(kernel)
+            .run(Backend::Threaded { assignment: &assignment, clusters: nodes })
+            .unwrap();
+        assert_eq!(app.fingerprint(&thr.states), want, "threaded replicated diverged");
+
+        // Compiled-block mode with the same plan: blocks derive from the
+        // partitioning, replicas fuse into their target blocks.
+        let mut ccfg = rcfg.clone();
+        ccfg.exec = ExecModel::CompiledBlocks(CompileOptions::default());
+        let fused = ccfg.build_app_partitioned(&netlist, &graph, &part);
+        let cseq = Simulator::new(&fused).run(Backend::Sequential).unwrap();
+        assert_eq!(fused.fingerprint(&cseq.states), want, "compiled replicated diverged");
+        let cassign = fused.lp_assignment(&part.assignment);
+        let cplat = Simulator::new(&fused)
+            .config(kernel)
+            .run(Backend::Platform { assignment: &cassign, nodes })
+            .unwrap();
+        assert_eq!(fused.fingerprint(&cplat.states), want, "compiled platform replicated diverged");
+    }
+    // The sweep must actually replicate and actually kill remote traffic,
+    // or coherence was proven for the empty plan only.
+    assert!(total_replicas > 0, "no round produced a replica plan");
+    assert!(total_saved > 0, "replication never saved a message");
+}
+
+#[test]
 fn stimulus_seed_changes_history_but_not_event_conservation() {
     let mut s = 40u64;
     for _ in 0..24 {
